@@ -1,0 +1,161 @@
+"""Benchmark: regenerate every figure-level construction of the paper.
+
+* Figure 1 — the mod-3 counters, their 9-state cross product and the
+  3-state fusion machines;
+* Figures 2 and 3 — machines A/B, their 4-state reachable cross product
+  and the 10-element closed partition lattice;
+* Figure 4 — the fault graphs G({A}), G({A,B}), G({A,B,M1,M2}),
+  G({A,B,M1,top}), G({A,B,M6,top}) and their dmin values;
+* Figure 5 — the set representation computed by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ClosedPartitionLattice,
+    CrossProduct,
+    FaultGraph,
+    generate_fusion,
+    is_fusion,
+    set_representation,
+)
+from repro.machines import (
+    FIG3_BLOCKS,
+    fig1_machines,
+    fig2_cross_product,
+    fig2_machines,
+    fig3_partition,
+)
+
+from conftest import paper_vs_measured
+
+
+class TestFigure1:
+    def test_fig1_cross_product_and_fusion(self, benchmark, report):
+        A, B, F1, F2 = fig1_machines()
+
+        def build():
+            product = CrossProduct([A, B])
+            result = generate_fusion([A, B], f=1, product=product)
+            return product, result
+
+        product, result = benchmark(build)
+        report(
+            paper_vs_measured(
+                "Figure 1 — mod-3 counters",
+                {"|R({A,B})|": 9, "fusion_size": 3, "F1_is_fusion": True, "F2_is_fusion": True},
+                {
+                    "|R({A,B})|": product.num_states,
+                    "fusion_size": result.backups[0].num_states,
+                    "F1_is_fusion": is_fusion([A, B], [F1], 1, product=product),
+                    "F2_is_fusion": is_fusion([A, B], [F2], 1, product=product),
+                },
+            )
+        )
+        assert product.num_states == 9
+        assert result.backup_sizes == (3,)
+
+    def test_fig1_byzantine_claim(self, benchmark, report):
+        # "DFSMs A and B along with F1 and F2 can tolerate one Byzantine fault"
+        A, B, F1, F2 = fig1_machines()
+
+        def dmin_with_both():
+            product = CrossProduct([A, B])
+            graph = FaultGraph.from_machines(product.machine, [A, B, F1, F2])
+            return graph.dmin()
+
+        dmin = benchmark(dmin_with_both)
+        report(paper_vs_measured("Figure 1 — {A,B,F1,F2}", {"byzantine_faults": 1}, {"byzantine_faults": (dmin - 1) // 2}))
+        assert (dmin - 1) // 2 == 1
+
+
+class TestFigures2And3:
+    def test_fig2_reachable_cross_product(self, benchmark, report):
+        def build():
+            return fig2_cross_product()
+
+        product = benchmark(build)
+        report(
+            paper_vs_measured(
+                "Figure 2 — R({A, B})",
+                {"states": 4},
+                {"states": product.num_states, "tuples": sorted(map(str, product.state_tuples()))},
+            )
+        )
+        assert product.num_states == 4
+
+    def test_fig3_closed_partition_lattice(self, benchmark, report):
+        product = fig2_cross_product()
+
+        def build():
+            return ClosedPartitionLattice(product.machine)
+
+        lattice = benchmark(build)
+        census = {
+            blocks: len(lattice.partitions_with_block_count(blocks)) for blocks in (4, 3, 2, 1)
+        }
+        report(
+            paper_vs_measured(
+                "Figure 3 — closed partition lattice of R({A, B})",
+                {"elements": 10, "basis": 4, "two_block": 4},
+                {"elements": lattice.size, "basis": census[3], "two_block": census[2]},
+            )
+        )
+        assert lattice.size == 10
+        for name in FIG3_BLOCKS:
+            assert fig3_partition(name, product) in lattice
+
+
+class TestFigure4:
+    #: machine set -> dmin stated (or implied) by the paper.
+    CASES = {
+        ("A",): 0,
+        ("A", "B"): 1,
+        ("A", "B", "M1", "M2"): 3,
+        ("A", "B", "M1", "top"): 3,
+        ("A", "B", "M6", "top"): 3,
+    }
+
+    @pytest.mark.parametrize("names", list(CASES))
+    def test_fault_graph_dmin(self, names, benchmark, report):
+        product = fig2_cross_product()
+        partitions = [fig3_partition(name, product) for name in names]
+
+        def build():
+            return FaultGraph(
+                product.num_states, partitions, state_labels=product.machine.states
+            )
+
+        graph = benchmark(build)
+        expected = self.CASES[names]
+        report(
+            paper_vs_measured(
+                "Figure 4 — G({%s})" % ", ".join(names),
+                {"dmin": expected},
+                {"dmin": graph.dmin(), "edges": graph.as_label_dict()},
+            )
+        )
+        assert graph.dmin() == expected
+
+
+class TestFigure5:
+    def test_set_representation_of_a(self, benchmark, report):
+        product = fig2_cross_product()
+        A, _ = fig2_machines()
+
+        def build():
+            return set_representation(product.machine, A)
+
+        representation = benchmark(build)
+        report(
+            paper_vs_measured(
+                "Figure 5 — set representation of A w.r.t. top",
+                {"a0": "{t0, t3}", "a1": "{t1}", "a2": "{t2}"},
+                {state: sorted(map(str, block)) for state, block in representation.items()},
+            )
+        )
+        assert representation["a0"] == frozenset({("a0", "b0"), ("a0", "b2")})
+        assert representation["a1"] == frozenset({("a1", "b1")})
+        assert representation["a2"] == frozenset({("a2", "b2")})

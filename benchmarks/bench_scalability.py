@@ -1,0 +1,77 @@
+"""Benchmark: the conclusion's scalability claim and fault-count sweeps.
+
+Section 7: "if we want to tolerate 5 crash faults among 1000 machines,
+replication will require 5000 extra machines.  Using our algorithm we may
+achieve this with just 5 extra machines."  The first benchmark reproduces
+that accounting (backup *counts* follow directly from Theorem 4); the
+second sweeps the fault bound f on a fixed machine set and reports how
+the backup state space grows for both approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    backup_count_comparison,
+    format_sweep_series,
+    sweep_fault_counts,
+)
+from repro.machines import fig2_machines, mod_counter
+
+from conftest import paper_vs_measured
+
+
+@pytest.mark.parametrize("num_machines,f", [(10, 1), (100, 1), (1000, 5)])
+def test_backup_machine_counts(num_machines, f, benchmark, report):
+    """Backup machine counts: n*f for replication vs f+1-dmin for fusion."""
+
+    def compute():
+        return backup_count_comparison(num_machines, f, dmin=1)
+
+    counts = benchmark(compute)
+    report(
+        paper_vs_measured(
+            "Backups to tolerate f=%d crashes among n=%d machines" % (f, num_machines),
+            {"replication_backups": num_machines * f, "fusion_backups": f},
+            counts,
+        )
+    )
+    assert counts["replication_backups"] == num_machines * f
+    assert counts["fusion_backups"] == f
+
+
+def test_fault_count_sweep_on_counters(benchmark, report):
+    """State-space growth with f for a fixed set of shared-alphabet counters."""
+    machines = [
+        mod_counter(3, count_event=e, events=(0, 1, 2), name="ctr-%d" % e) for e in (0, 1, 2)
+    ]
+    fault_counts = [1, 2, 3]
+
+    def sweep():
+        return sweep_fault_counts(machines, fault_counts)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_sweep_series("f", fault_counts, [p.row for p in points])
+    )
+    for point in points:
+        assert point.row.fusion_space <= point.row.replication_space
+        assert point.row.final_dmin > point.parameter
+    # The number of fusion backups grows by exactly one per extra fault.
+    backups = [p.row.fusion_backups for p in points]
+    assert backups == [backups[0] + i for i in range(len(backups))]
+
+
+def test_fault_count_sweep_on_fig2_machines(benchmark, report):
+    """Same sweep on the paper's worked-example machines."""
+    machines = list(fig2_machines())
+    fault_counts = [0, 1, 2, 3]
+
+    def sweep():
+        return sweep_fault_counts(machines, fault_counts)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(format_sweep_series("f", fault_counts, [p.row for p in points]))
+    assert [p.row.fusion_backups for p in points] == [0, 1, 2, 3]
+    assert all(p.row.fusion_space <= p.row.replication_space for p in points)

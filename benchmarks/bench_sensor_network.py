@@ -1,0 +1,96 @@
+"""Benchmark: the sensor-network motivating example (Sections 1 and 6).
+
+The paper's introduction argues that a network of mod-3 counters can be
+protected against one crash fault by a *single* three-state backup,
+where replication would duplicate every sensor.  The harness sweeps the
+number of distinct sensors (each watching its own event of a shared
+stream), runs Algorithm 2, and reports backup machine counts and state
+spaces for fusion versus replication — plus an end-to-end crash/recovery
+simulation on the fused system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_fusion, replication_backup_count, replication_state_space
+from repro.analysis import compare_fusion_to_replication, format_sweep_series
+from repro.machines import mod_counter
+from repro.simulation import DistributedSystem, FaultInjector, WorkloadGenerator
+
+from conftest import paper_vs_measured
+
+
+def _sensors(count: int):
+    events = tuple(range(count))
+    return [
+        mod_counter(3, count_event=e, events=events, name="sensor-%d" % e) for e in events
+    ]
+
+
+@pytest.mark.parametrize("num_sensors", [3, 5, 7])
+def test_sensor_fusion_sweep(num_sensors, benchmark, report):
+    """Fusion needs one 3-state backup regardless of the sensor count."""
+    sensors = _sensors(num_sensors)
+
+    def build():
+        return generate_fusion(sensors, f=1)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(
+        paper_vs_measured(
+            "Sensor network, %d distinct sensors, f=1" % num_sensors,
+            {"fusion_backups": 1, "fusion_backup_size": 3, "replication_backups": num_sensors},
+            {
+                "fusion_backups": result.num_backups,
+                "fusion_backup_size": result.backups[0].num_states if result.backups else 0,
+                "replication_backups": replication_backup_count(num_sensors, 1),
+                "top_size": result.top_size,
+            },
+        )
+    )
+    assert result.num_backups == 1
+    assert result.backups[0].num_states == 3
+    assert result.fusion_state_space < replication_state_space(sensors, 1)
+
+
+def test_sensor_network_series(benchmark, report):
+    """The full comparison series printed as one table (intro's 100-sensor claim)."""
+    counts = [2, 3, 4, 5, 6]
+
+    def build():
+        return [compare_fusion_to_replication(_sensors(n), 1) for n in counts]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    report(format_sweep_series("sensors", counts, rows))
+    # Fusion's backup count stays at one while replication's grows linearly.
+    assert all(row.fusion_backups == 1 for row in rows)
+    assert [row.replication_backups for row in rows] == counts
+
+
+def test_sensor_crash_recovery_simulation(benchmark, report):
+    """End-to-end: crash one of five sensors mid-stream and recover it."""
+    sensors = _sensors(5)
+    workload = WorkloadGenerator(tuple(range(5)), seed=1).uniform(200)
+
+    def run():
+        system = DistributedSystem.with_fusion_backups(sensors, f=1)
+        plan = FaultInjector(system.server_names(), seed=2).crash_plan(
+            ["sensor-3"], after_event=100
+        )
+        return system.run(workload, fault_plan=plan)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        paper_vs_measured(
+            "Sensor crash simulation (5 sensors, 200 events, 1 crash)",
+            {"consistent": True},
+            {
+                "consistent": outcome.consistent,
+                "recoveries": outcome.recoveries,
+                "backups": outcome.num_backups,
+            },
+        )
+    )
+    assert outcome.consistent
+    assert outcome.num_backups == 1

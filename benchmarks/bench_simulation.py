@@ -1,0 +1,107 @@
+"""Benchmark: end-to-end simulation of fusion versus replication.
+
+The paper compares the two approaches analytically (backup counts and
+state space); this harness additionally drives both through the
+distributed-system simulator — same workload, same fault plan — and
+reports event throughput, recovery passes and final consistency, plus
+the backup-cost columns for context.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import mod_counter
+from repro.simulation import DistributedSystem, FaultInjector, WorkloadGenerator
+
+from conftest import paper_vs_measured
+
+
+def _machines(count: int = 4):
+    events = tuple(range(count))
+    return [
+        mod_counter(3, count_event=e, events=events, name="node-%d" % e) for e in events
+    ]
+
+
+def _run(scheme: str, f: int, workload, crash_victims):
+    machines = _machines()
+    if scheme == "fusion":
+        system = DistributedSystem.with_fusion_backups(machines, f=f)
+    else:
+        system = DistributedSystem.with_replication(machines, f=f)
+    plan = FaultInjector(system.server_names(), seed=9).crash_plan(
+        crash_victims, after_event=len(workload) // 2
+    )
+    return system.run(workload, fault_plan=plan)
+
+
+@pytest.mark.parametrize("scheme", ["fusion", "replication"])
+def test_crash_simulation_throughput(scheme, benchmark, report):
+    """500-event run with one mid-stream crash, per backup scheme."""
+    workload = WorkloadGenerator(tuple(range(4)), seed=4).uniform(500)
+
+    def run():
+        return _run(scheme, f=1, workload=workload, crash_victims=["node-2"])
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        paper_vs_measured(
+            "Simulation, scheme=%s (4 machines, 500 events, 1 crash)" % scheme,
+            {"consistent": True},
+            {
+                "consistent": outcome.consistent,
+                "num_backups": outcome.num_backups,
+                "backup_state_space": outcome.backup_state_space,
+                "recoveries": outcome.recoveries,
+            },
+        )
+    )
+    assert outcome.consistent
+    assert outcome.faults_injected == 1
+
+
+def test_fusion_uses_less_backup_state_than_replication_in_simulation(benchmark, report):
+    """Head-to-head cost comparison from the simulator's perspective."""
+    workload = WorkloadGenerator(tuple(range(4)), seed=5).uniform(200)
+
+    def run_both():
+        fusion = _run("fusion", 1, workload, ["node-0"])
+        replication = _run("replication", 1, workload, ["node-0"])
+        return fusion, replication
+
+    fusion, replication = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(
+        paper_vs_measured(
+            "Fusion vs replication, identical workload and fault plan",
+            {"winner": "fusion (state space)"},
+            {
+                "fusion_backups": fusion.num_backups,
+                "fusion_state_space": fusion.backup_state_space,
+                "replication_backups": replication.num_backups,
+                "replication_state_space": replication.backup_state_space,
+            },
+        )
+    )
+    assert fusion.consistent and replication.consistent
+    assert fusion.backup_state_space <= replication.backup_state_space
+    assert fusion.num_backups <= replication.num_backups
+
+
+def test_two_fault_simulation_with_f2_fusion(benchmark, report):
+    """An f=2 fusion system surviving two simultaneous crashes."""
+    workload = WorkloadGenerator(tuple(range(4)), seed=6).uniform(300)
+
+    def run():
+        return _run("fusion", 2, workload, ["node-0", "node-3"])
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        paper_vs_measured(
+            "f=2 fusion, two crashes at the same instant",
+            {"consistent": True, "faults": 2},
+            {"consistent": outcome.consistent, "faults": outcome.faults_injected},
+        )
+    )
+    assert outcome.consistent
+    assert outcome.faults_injected == 2

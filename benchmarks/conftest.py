@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints, alongside its timing, the same quantities the
+paper reports (state spaces, backup sizes, dmin, who wins), so that a
+single ``pytest benchmarks/ --benchmark-only`` run regenerates the full
+evaluation.  ``paper_vs_measured`` renders the side-by-side block that
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def paper_vs_measured(title: str, paper: dict, measured: dict) -> str:
+    """Format a paper-vs-measured comparison block for benchmark output."""
+    lines = [title]
+    keys = sorted(set(paper) | set(measured))
+    width = max(len(str(k)) for k in keys) if keys else 0
+    for key in keys:
+        lines.append(
+            "  %-*s  paper=%-12s measured=%s"
+            % (width, key, paper.get(key, "-"), measured.get(key, "-"))
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report block so it survives pytest's output capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _print

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's results table (Section 6) from the command line.
+
+Rebuilds each of the five machine sets, runs Algorithm 2, and prints the
+measured columns next to the numbers the paper reports.  Expect the
+|Replication| column to match exactly and the remaining columns to match
+in shape (fusion beating replication by orders of magnitude); see
+EXPERIMENTS.md for the discussion.
+
+Run with::
+
+    python examples/reproduce_paper_table.py            # all five rows
+    python examples/reproduce_paper_table.py 3 4        # selected rows
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import format_comparison_table, reproduce_table1, table1_rows
+
+
+def main(argv) -> None:
+    if argv:
+        rows = [int(arg) for arg in argv]
+    else:
+        rows = [config.row_id for config in table1_rows()]
+
+    results = reproduce_table1(rows=rows)
+    print(format_comparison_table([row for _, row in results], title="Measured (this reproduction)"))
+    print()
+    print("Paper-reported values for the same rows:")
+    for config, row in results:
+        paper = config.paper
+        print(
+            "  row %d: |top|=%-4d backups=%-12s |Replication|=%-9d |Fusion|=%d"
+            % (
+                config.row_id,
+                paper.top_size,
+                list(paper.backup_sizes),
+                paper.replication_space,
+                paper.fusion_space,
+            )
+        )
+    print()
+    for config, row in results:
+        status = "OK" if row.fusion_space < row.replication_space else "CHECK"
+        print(
+            "row %d [%s] fusion is %.1fx smaller than replication (paper: %.1fx)"
+            % (
+                config.row_id,
+                status,
+                row.savings_factor,
+                config.paper.replication_space / config.paper.fusion_space,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy tooling (and ``pip install -e . --no-use-pep517`` on systems
+without the ``wheel`` package) can still perform an editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""State-space accounting, parameter sweeps and paper-style reporting."""
+
+from .paper_table import (
+    PaperRow,
+    TableRowConfig,
+    reproduce_table1,
+    table1_configuration,
+    table1_rows,
+)
+from .metrics import (
+    GenerationTiming,
+    SweepPoint,
+    backup_count_comparison,
+    sweep_fault_counts,
+    sweep_machine_counts,
+    time_fusion_generation,
+)
+from .reporting import (
+    format_comparison_table,
+    format_markdown_table,
+    format_row,
+    format_sweep_series,
+)
+from .state_space import ComparisonRow, compare_fusion_to_replication, original_state_space
+
+__all__ = [
+    "PaperRow",
+    "TableRowConfig",
+    "table1_configuration",
+    "table1_rows",
+    "reproduce_table1",
+    "ComparisonRow",
+    "compare_fusion_to_replication",
+    "original_state_space",
+    "SweepPoint",
+    "GenerationTiming",
+    "backup_count_comparison",
+    "sweep_fault_counts",
+    "sweep_machine_counts",
+    "time_fusion_generation",
+    "format_comparison_table",
+    "format_markdown_table",
+    "format_row",
+    "format_sweep_series",
+]

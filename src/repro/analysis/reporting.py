@@ -1,0 +1,92 @@
+"""Rendering analysis results in the paper's table format.
+
+The functions here turn :class:`~repro.analysis.state_space.ComparisonRow`
+objects into fixed-width text tables (what the benchmarks print) and
+Markdown tables (what EXPERIMENTS.md embeds), with the same columns as
+the paper's results table:
+
+    Original Machines | f | |⊤| | |Backup Machines| | |Replication| | |Fusion|
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .state_space import ComparisonRow
+
+__all__ = [
+    "format_row",
+    "format_comparison_table",
+    "format_markdown_table",
+    "format_sweep_series",
+]
+
+_HEADERS = (
+    "Original Machines",
+    "f",
+    "|top|",
+    "|Backup Machines|",
+    "|Replication|",
+    "|Fusion|",
+    "Savings",
+)
+
+
+def format_row(row: ComparisonRow) -> List[str]:
+    """The cell strings of one table row (paper column order plus savings)."""
+    return [
+        ", ".join(row.machine_names),
+        str(row.f),
+        str(row.top_size),
+        "[" + " ".join(str(s) for s in row.backup_sizes) + "]",
+        str(row.replication_space),
+        str(row.fusion_space),
+        ("%.1fx" % row.savings_factor) if row.fusion_space else "inf",
+    ]
+
+
+def format_comparison_table(rows: Iterable[ComparisonRow], title: str = "") -> str:
+    """A fixed-width text table of comparison rows (benchmark console output)."""
+    cell_rows = [format_row(row) for row in rows]
+    widths = [len(h) for h in _HEADERS]
+    for cells in cell_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(_HEADERS))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(cells) for cells in cell_rows)
+    return "\n".join(parts)
+
+
+def format_markdown_table(rows: Iterable[ComparisonRow]) -> str:
+    """The same table as GitHub-flavoured Markdown (for EXPERIMENTS.md)."""
+    lines = [
+        "| " + " | ".join(_HEADERS) + " |",
+        "|" + "|".join(["---"] * len(_HEADERS)) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(format_row(row)) + " |")
+    return "\n".join(lines)
+
+
+def format_sweep_series(
+    parameter_name: str, parameters: Sequence[int], rows: Sequence[ComparisonRow]
+) -> str:
+    """A compact two-column-per-approach series for sweep benchmarks."""
+    lines = [
+        "%-12s  %-16s  %-16s  %-10s"
+        % (parameter_name, "|Replication|", "|Fusion|", "backups(F)")
+    ]
+    for parameter, row in zip(parameters, rows):
+        lines.append(
+            "%-12s  %-16s  %-16s  %-10s"
+            % (parameter, row.replication_space, row.fusion_space, row.fusion_backups)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""State-space accounting: the quantities reported in the paper's results table.
+
+For a machine set ``M1..Mn`` and fault bound ``f`` the paper reports
+
+* ``|⊤|`` — the number of states of the reachable cross product,
+* ``|Backup Machines|`` — the sizes of the fusion machines Algorithm 2
+  produced,
+* ``|Replication| = (Π |Mi|)^f`` — the state space of the replication
+  baseline's backups,
+* ``|Fusion| = Π |Fj|`` — the state space of the fusion backups.
+
+:func:`compare_fusion_to_replication` computes one such row;
+:class:`ComparisonRow` is its structured result and knows how to render
+itself for the reporting module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.dfsm import DFSM
+from ..core.fusion import FusionResult, generate_fusion
+from ..core.product import CrossProduct
+from ..core.replication import replication_backup_count, replication_state_space
+
+__all__ = ["ComparisonRow", "compare_fusion_to_replication", "original_state_space"]
+
+
+def original_state_space(machines: Sequence[DFSM]) -> int:
+    """``Π |Mi|`` — the combined state space of the original machines."""
+    product = 1
+    for machine in machines:
+        product *= machine.num_states
+    return product
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the paper-style results table.
+
+    Attributes mirror the paper's columns, plus derived convenience
+    numbers (savings factor, backup machine counts for both approaches).
+    """
+
+    machine_names: Tuple[str, ...]
+    machine_sizes: Tuple[int, ...]
+    f: int
+    top_size: int
+    backup_sizes: Tuple[int, ...]
+    replication_space: int
+    fusion_space: int
+    replication_backups: int
+    fusion_backups: int
+    initial_dmin: int
+    final_dmin: int
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times smaller the fusion backup state space is."""
+        if self.fusion_space == 0:
+            return float("inf")
+        return self.replication_space / self.fusion_space
+
+    @property
+    def fusion_wins(self) -> bool:
+        """True when fusion needs no more backup state space than replication."""
+        return self.fusion_space <= self.replication_space
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON export and benchmark output."""
+        return {
+            "machines": list(self.machine_names),
+            "machine_sizes": list(self.machine_sizes),
+            "f": self.f,
+            "top_size": self.top_size,
+            "backup_sizes": list(self.backup_sizes),
+            "replication_space": self.replication_space,
+            "fusion_space": self.fusion_space,
+            "replication_backups": self.replication_backups,
+            "fusion_backups": self.fusion_backups,
+            "savings_factor": self.savings_factor,
+            "initial_dmin": self.initial_dmin,
+            "final_dmin": self.final_dmin,
+        }
+
+
+def compare_fusion_to_replication(
+    machines: Sequence[DFSM],
+    f: int,
+    fusion: Optional[FusionResult] = None,
+    byzantine: bool = False,
+    strategy: str = "first",
+) -> ComparisonRow:
+    """Compute one results-table row for ``machines`` at fault bound ``f``.
+
+    A pre-computed :class:`FusionResult` may be supplied; otherwise
+    Algorithm 2 is run (with the given descent ``strategy``).
+    """
+    if fusion is None:
+        fusion = generate_fusion(machines, f, byzantine=byzantine, strategy=strategy)
+    return ComparisonRow(
+        machine_names=tuple(m.name for m in machines),
+        machine_sizes=tuple(m.num_states for m in machines),
+        f=f,
+        top_size=fusion.top_size,
+        backup_sizes=fusion.backup_sizes,
+        replication_space=replication_state_space(machines, f),
+        fusion_space=fusion.fusion_state_space,
+        replication_backups=replication_backup_count(len(machines), f, byzantine=byzantine),
+        fusion_backups=fusion.num_backups,
+        initial_dmin=fusion.initial_dmin,
+        final_dmin=fusion.final_dmin,
+    )

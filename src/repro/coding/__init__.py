@@ -1,0 +1,36 @@
+"""The erasure-coding analogy of Section 3, made executable.
+
+``repro.coding`` translates between fault graphs / ``dmin`` on the DFSM
+side and block codes / minimum Hamming distance on the coding side, so
+the paper's analogy (machines ≙ symbol positions, reachable product
+states ≙ code words, crashes ≙ erasures, lies ≙ errors) can be tested
+quantitatively.
+"""
+
+from .erasure import (
+    code_from_partitions,
+    machine_code,
+    repetition_code,
+    single_parity_code,
+)
+from .hamming import (
+    BlockCode,
+    correctable_erasures,
+    correctable_errors,
+    distance_distribution,
+    hamming_distance,
+    minimum_distance,
+)
+
+__all__ = [
+    "BlockCode",
+    "hamming_distance",
+    "minimum_distance",
+    "correctable_erasures",
+    "correctable_errors",
+    "distance_distribution",
+    "machine_code",
+    "code_from_partitions",
+    "repetition_code",
+    "single_parity_code",
+]

@@ -1,0 +1,167 @@
+"""Hamming distance and block-code primitives for the Section 3 analogy.
+
+The paper explains fault graphs through an analogy with erasure codes:
+the states of the reachable cross product are the valid code words, each
+machine contributes one "symbol" of redundancy, and ``dmin`` plays the
+role of the minimum Hamming distance of the code — a code of distance
+``d`` corrects ``d - 1`` erasures (crashes) and ``⌊(d-1)/2⌋`` errors
+(Byzantine lies).  This module provides the coding-side vocabulary so
+that the analogy can be exercised and tested quantitatively.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "hamming_distance",
+    "minimum_distance",
+    "correctable_erasures",
+    "correctable_errors",
+    "distance_distribution",
+    "BlockCode",
+]
+
+
+def hamming_distance(first: Sequence, second: Sequence) -> int:
+    """Number of positions at which two equal-length words differ."""
+    if len(first) != len(second):
+        raise ReproError("Hamming distance requires words of equal length")
+    return int(sum(1 for a, b in zip(first, second) if a != b))
+
+
+def minimum_distance(codewords: Sequence[Sequence]) -> int:
+    """Minimum pairwise Hamming distance of a code (0 for fewer than 2 words)."""
+    words = list(codewords)
+    if len(words) < 2:
+        return 0
+    return min(hamming_distance(a, b) for a, b in combinations(words, 2))
+
+
+def correctable_erasures(min_distance: int) -> int:
+    """Erasures correctable by a code of the given minimum distance (``d - 1``)."""
+    return max(0, min_distance - 1)
+
+
+def correctable_errors(min_distance: int) -> int:
+    """Errors correctable by a code of the given minimum distance (``⌊(d-1)/2⌋``)."""
+    return max(0, (min_distance - 1) // 2)
+
+
+def distance_distribution(codewords: Sequence[Sequence]) -> dict:
+    """Histogram of pairwise Hamming distances (for reporting)."""
+    histogram: dict = {}
+    for a, b in combinations(list(codewords), 2):
+        d = hamming_distance(a, b)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+class BlockCode:
+    """A small explicit block code over an arbitrary symbol alphabet.
+
+    Used to mirror the DFSM construction: each *machine* corresponds to a
+    symbol position, each valid global state corresponds to a code word.
+    Decoding implements the same rule as Algorithm 3 — pick the code word
+    compatible with the largest number of received symbols — so the
+    coding-theory bounds and the DFSM theorems can be compared directly
+    in tests.
+    """
+
+    def __init__(self, codewords: Sequence[Sequence]) -> None:
+        words = [tuple(w) for w in codewords]
+        if not words:
+            raise ReproError("a block code needs at least one code word")
+        lengths = {len(w) for w in words}
+        if len(lengths) != 1:
+            raise ReproError("all code words must have the same length")
+        if len(set(words)) != len(words):
+            raise ReproError("duplicate code words")
+        self._words: Tuple[Tuple, ...] = tuple(words)
+        self._length = lengths.pop()
+
+    @property
+    def codewords(self) -> Tuple[Tuple, ...]:
+        return self._words
+
+    @property
+    def length(self) -> int:
+        """Number of symbol positions (machines, in the analogy)."""
+        return self._length
+
+    @property
+    def size(self) -> int:
+        """Number of code words (valid global states)."""
+        return len(self._words)
+
+    def minimum_distance(self) -> int:
+        return minimum_distance(self._words)
+
+    def correctable_erasures(self) -> int:
+        return correctable_erasures(self.minimum_distance())
+
+    def correctable_errors(self) -> int:
+        return correctable_errors(self.minimum_distance())
+
+    # ------------------------------------------------------------------
+    def decode_erasures(self, received: Sequence[Optional[object]]) -> Tuple:
+        """Decode a word with erased positions (``None`` marks an erasure).
+
+        Returns the unique code word agreeing with every non-erased
+        symbol; raises :class:`ReproError` when zero or several code words
+        match (more erasures than the code tolerates).
+        """
+        if len(received) != self._length:
+            raise ReproError("received word has the wrong length")
+        matches = [
+            word
+            for word in self._words
+            if all(r is None or r == w for r, w in zip(received, word))
+        ]
+        if len(matches) != 1:
+            raise ReproError(
+                "erasure decoding is ambiguous or impossible (%d candidates)" % len(matches)
+            )
+        return matches[0]
+
+    def decode_errors(self, received: Sequence) -> Tuple:
+        """Nearest-codeword decoding for (possibly) corrupted symbols.
+
+        Raises :class:`ReproError` when two code words are equally close —
+        the corruption exceeded the code's correction radius.
+        """
+        if len(received) != self._length:
+            raise ReproError("received word has the wrong length")
+        received = tuple(received)
+        distances = [(hamming_distance(received, word), word) for word in self._words]
+        distances.sort(key=lambda pair: pair[0])
+        if len(distances) > 1 and distances[0][0] == distances[1][0]:
+            raise ReproError("error decoding is ambiguous (tie at distance %d)" % distances[0][0])
+        return distances[0][1]
+
+    def decode_by_votes(self, received: Sequence[Optional[object]]) -> Tuple:
+        """Algorithm-3 style decoding: maximise the number of agreeing symbols.
+
+        Erasures (``None``) simply contribute no votes.  This is the exact
+        counting rule the DFSM recovery algorithm uses, so for codes built
+        from fault graphs the two decoders agree.
+        """
+        if len(received) != self._length:
+            raise ReproError("received word has the wrong length")
+        best_word: Optional[Tuple] = None
+        best_votes = -1
+        tie = False
+        for word in self._words:
+            votes = sum(1 for r, w in zip(received, word) if r is not None and r == w)
+            if votes > best_votes:
+                best_word, best_votes, tie = word, votes, False
+            elif votes == best_votes:
+                tie = True
+        if tie or best_word is None:
+            raise ReproError("vote decoding is ambiguous")
+        return best_word

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library-specific failures with a single ``except``
+clause while still letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidMachineError",
+    "UnknownStateError",
+    "UnknownEventError",
+    "NotComparableError",
+    "PartitionError",
+    "FusionError",
+    "FusionExistenceError",
+    "RecoveryError",
+    "FaultToleranceExceededError",
+    "SimulationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class InvalidMachineError(ReproError):
+    """A DFSM definition is structurally invalid.
+
+    Raised when a transition references an unknown state, the initial
+    state is not a member of the state set, the state set is empty, or
+    the transition function is not total over the machine's own
+    alphabet.
+    """
+
+
+class UnknownStateError(ReproError, KeyError):
+    """A state label was used that the machine does not contain."""
+
+
+class UnknownEventError(ReproError, KeyError):
+    """An event label was used that the machine's alphabet does not contain."""
+
+
+class NotComparableError(ReproError):
+    """Two machines were compared that are not related by the ``<=`` order.
+
+    The order among machines (Section 2.1 of the paper) is only defined
+    when one machine's closed partition refines the other's.
+    """
+
+
+class PartitionError(ReproError):
+    """A partition of a state set is malformed or not closed."""
+
+
+class FusionError(ReproError):
+    """Fusion generation or validation failed."""
+
+
+class FusionExistenceError(FusionError):
+    """No (f, m)-fusion exists for the requested parameters.
+
+    By Theorem 4 an (f, m)-fusion of a machine set ``A`` exists iff
+    ``m + dmin(A) > f``.
+    """
+
+
+class RecoveryError(ReproError):
+    """State recovery failed (for example, ambiguous majority vote)."""
+
+
+class FaultToleranceExceededError(RecoveryError):
+    """More faults were injected than the system was designed to tolerate."""
+
+
+class SimulationError(ReproError):
+    """The distributed-system simulator was driven into an invalid configuration."""
+
+
+class SerializationError(ReproError):
+    """A machine or analysis artefact could not be serialised or parsed."""

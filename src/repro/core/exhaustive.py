@@ -1,0 +1,224 @@
+"""Exhaustive fusion search over the closed partition lattice.
+
+Algorithm 2 is greedy: at each step it keeps the first lower-cover
+element that still covers every weakest edge.  The paper proves the
+result uses the minimum *number* of machines and is minimal in the
+fusion order (Definition 6), but it does not claim to minimise the total
+*state count* of the backups.  This module provides the brute-force
+counterparts used by the ablation benchmarks and the property tests:
+
+* :func:`enumerate_closed_partitions` — all elements of the lattice;
+* :func:`find_all_fusions` — every (f, m)-fusion drawn from the lattice;
+* :func:`find_minimum_state_fusion` — the (f, m)-fusion with the smallest
+  total/product state count;
+* :func:`is_minimal_fusion` — Definition 6 minimality, checked against
+  all lattice alternatives.
+
+All of these are exponential in the lattice size and are guarded by a
+``max_lattice_size`` argument; they are meant for the small machines used
+in figures, tests and the greedy-vs-optimal ablation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, combinations_with_replacement
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dfsm import DFSM
+from .exceptions import FusionError, FusionExistenceError
+from .fault_graph import FaultGraph
+from .fault_tolerance import required_dmin
+from .fusion import FusionResult
+from .lattice import ClosedPartitionLattice
+from .partition import Partition, machine_from_partition
+from .product import CrossProduct
+
+__all__ = [
+    "enumerate_closed_partitions",
+    "find_all_fusions",
+    "find_minimum_state_fusion",
+    "is_minimal_fusion",
+]
+
+
+def enumerate_closed_partitions(
+    top: DFSM, max_lattice_size: int = 20_000
+) -> List[Partition]:
+    """All closed partitions of ``top`` (the full lattice), top-down order."""
+    lattice = ClosedPartitionLattice(top, max_size=max_lattice_size)
+    return list(lattice.partitions)
+
+
+def _useful_candidates(partitions: Iterable[Partition]) -> List[Partition]:
+    """Drop the single-block bottom: it never separates any pair of states."""
+    return [p for p in partitions if p.num_blocks > 1]
+
+
+def find_all_fusions(
+    machines: Sequence[DFSM],
+    f: int,
+    m: int,
+    *,
+    max_lattice_size: int = 20_000,
+    allow_duplicates: bool = True,
+    product: Optional[CrossProduct] = None,
+) -> List[Tuple[Partition, ...]]:
+    """Every (f, m)-fusion of ``machines`` whose members lie in the lattice.
+
+    Parameters
+    ----------
+    machines, f, m:
+        The machine set, fault bound and exact number of backups.
+    allow_duplicates:
+        Replication uses several copies of the same machine, so fusions
+        are multisets by default; set False to require distinct backups.
+    max_lattice_size:
+        Safety bound on the lattice enumeration.
+
+    Returns
+    -------
+    list of tuples of partitions (each tuple one fusion), possibly empty.
+    """
+    if product is None:
+        product = CrossProduct(machines)
+    top = product.machine
+    base = FaultGraph.from_cross_product(product)
+    candidates = _useful_candidates(enumerate_closed_partitions(top, max_lattice_size))
+    chooser = combinations_with_replacement if allow_duplicates else combinations
+    fusions: List[Tuple[Partition, ...]] = []
+    for combo in chooser(candidates, m):
+        graph = base
+        for partition in combo:
+            graph = graph.with_partition(partition)
+        if graph.dmin() > f:
+            fusions.append(tuple(combo))
+    return fusions
+
+
+def find_minimum_state_fusion(
+    machines: Sequence[DFSM],
+    f: int,
+    m: Optional[int] = None,
+    *,
+    objective: str = "product",
+    max_lattice_size: int = 20_000,
+    product: Optional[CrossProduct] = None,
+    name_prefix: str = "X",
+) -> FusionResult:
+    """Brute-force the state-wise smallest (f, m)-fusion.
+
+    Parameters
+    ----------
+    m:
+        Number of backups; defaults to the minimum possible
+        (``required_dmin(f) - dmin(A)``, Theorem 4).
+    objective:
+        ``"product"`` minimises the paper's ``|Fusion|`` metric
+        (product of backup sizes); ``"sum"`` minimises the total number of
+        backup states.
+
+    Raises
+    ------
+    FusionExistenceError
+        If no (f, m)-fusion exists for the requested ``m`` (Theorem 4).
+    """
+    if objective not in ("product", "sum"):
+        raise FusionError("objective must be 'product' or 'sum'")
+    if product is None:
+        product = CrossProduct(machines)
+    top = product.machine
+    base = FaultGraph.from_cross_product(product)
+    initial_dmin = base.dmin()
+    target = required_dmin(f)
+    if m is None:
+        m = max(0, target - initial_dmin)
+    if m + initial_dmin <= f:
+        raise FusionExistenceError(
+            "no (%d, %d)-fusion exists: dmin(A) = %d (Theorem 4)" % (f, m, initial_dmin)
+        )
+
+    best: Optional[Tuple[Partition, ...]] = None
+    best_score: Optional[int] = None
+    for combo in find_all_fusions(
+        machines, f, m, max_lattice_size=max_lattice_size, product=product
+    ):
+        sizes = [p.num_blocks for p in combo]
+        score = int(np.prod(sizes, dtype=object)) if objective == "product" else sum(sizes)
+        if best_score is None or score < best_score:
+            best, best_score = combo, score
+    if best is None and m > 0:
+        raise FusionExistenceError(
+            "lattice search found no (%d, %d)-fusion (unexpected given Theorem 4: "
+            "the top machine itself always qualifies)" % (f, m)
+        )
+    backups = tuple(
+        machine_from_partition(top, partition, name="%s%d" % (name_prefix, i + 1))
+        for i, partition in enumerate(best or ())
+    )
+    graph = base
+    for partition in best or ():
+        graph = graph.with_partition(partition)
+    return FusionResult(
+        originals=tuple(machines),
+        backups=backups,
+        partitions=tuple(best or ()),
+        product=product,
+        graph=graph,
+        f=f,
+        initial_dmin=initial_dmin,
+        final_dmin=graph.dmin(),
+    )
+
+
+def is_minimal_fusion(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM],
+    f: int,
+    *,
+    max_lattice_size: int = 20_000,
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Definition 6 minimality: no (f, m)-fusion is strictly below ``backups``.
+
+    A fusion ``G`` is strictly below ``F`` when the machines of ``G`` can
+    be matched one-to-one with machines of ``F`` such that ``G_i <= F_i``
+    everywhere and strictly somewhere.  The check enumerates, for each
+    backup, the lattice elements at or below it and tries every
+    combination containing at least one strict replacement.
+    """
+    from .fusion import is_fusion
+    from .partition import partition_from_machine
+
+    if product is None:
+        product = CrossProduct(machines)
+    top = product.machine
+    if not is_fusion(machines, backups, f, product=product):
+        raise FusionError("the given backups are not an (f, m)-fusion")
+
+    backup_partitions = [partition_from_machine(top, b) for b in backups]
+    lattice_elements = enumerate_closed_partitions(top, max_lattice_size)
+    below: List[List[Partition]] = [
+        [q for q in lattice_elements if q <= p] for p in backup_partitions
+    ]
+
+    base = FaultGraph.from_cross_product(product)
+
+    def dmin_of(partitions: Sequence[Partition]) -> int:
+        graph = base
+        for partition in partitions:
+            graph = graph.with_partition(partition)
+        return graph.dmin()
+
+    # Depth-first over choices of a (<=) replacement for each backup.
+    def search(index: int, chosen: List[Partition], any_strict: bool) -> bool:
+        if index == len(backup_partitions):
+            return any_strict and dmin_of(chosen) > f
+        for candidate in below[index]:
+            strict = candidate != backup_partitions[index]
+            if search(index + 1, chosen + [candidate], any_strict or strict):
+                return True
+        return False
+
+    return not search(0, [], False)

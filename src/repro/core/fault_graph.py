@@ -1,0 +1,325 @@
+"""Fault graphs and the minimum Hamming distance ``dmin`` (Section 3).
+
+The fault graph ``G(T, M)`` of a machine set ``M`` with respect to a
+machine ``T`` (with every ``M_i <= T``) is the complete weighted graph on
+``T``'s states in which the weight of edge ``(ti, tj)`` is the number of
+machines in ``M`` that place ``ti`` and ``tj`` in distinct blocks of
+their closed partitions.  The smallest edge weight, ``dmin(T, M)``,
+determines the fault tolerance of the set:
+
+* up to ``dmin - 1`` crash faults (Theorem 1 / Observation 1);
+* up to ``floor((dmin - 1) / 2)`` Byzantine faults (Theorem 2).
+
+Edge weights are stored in a dense NumPy matrix so that adding a machine,
+finding the weakest edges and recomputing ``dmin`` are vectorised
+operations — these run inside the inner loop of fusion generation
+(Algorithm 2) where the matrix has ``|top|^2`` entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .dfsm import DFSM
+from .exceptions import PartitionError
+from .partition import Partition, partition_from_machine
+from .product import CrossProduct
+from .types import StateLabel
+
+__all__ = ["FaultGraph", "build_fault_graph", "dmin_of_machines", "separation_matrix"]
+
+EdgeKey = Tuple[int, int]
+
+
+def separation_matrix(partition: Partition) -> np.ndarray:
+    """Boolean matrix ``S`` with ``S[i, j]`` true iff the partition separates i and j.
+
+    This is the single-machine fault graph: a machine covers edge
+    ``(ti, tj)`` exactly when its closed partition places the two top
+    states in different blocks.
+    """
+    labels = partition.labels
+    return labels[:, None] != labels[None, :]
+
+
+class FaultGraph:
+    """The weighted fault graph ``G(T, M)`` of Definition 3.
+
+    Parameters
+    ----------
+    num_states:
+        Number of states of the reference machine ``T`` (the top).
+    partitions:
+        Closed partitions of ``T``'s state set, one per machine in ``M``.
+    state_labels:
+        Optional labels of ``T``'s states, used when edges are addressed
+        by label instead of index.
+    machine_names:
+        Optional display names, parallel to ``partitions``.
+
+    The class is immutable; :meth:`with_partition` returns a new graph
+    with one more machine folded in (reusing the existing weight matrix).
+    """
+
+    __slots__ = ("_n", "_weights", "_partitions", "_names", "_labels", "_label_index")
+
+    def __init__(
+        self,
+        num_states: int,
+        partitions: Sequence[Partition] = (),
+        state_labels: Optional[Sequence[StateLabel]] = None,
+        machine_names: Optional[Sequence[str]] = None,
+        _weights: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_states <= 0:
+            raise PartitionError("a fault graph needs at least one state")
+        self._n = int(num_states)
+        self._partitions: Tuple[Partition, ...] = tuple(partitions)
+        for p in self._partitions:
+            if p.num_elements != self._n:
+                raise PartitionError(
+                    "partition over %d elements does not match %d top states"
+                    % (p.num_elements, self._n)
+                )
+        if machine_names is None:
+            machine_names = tuple("M%d" % i for i in range(len(self._partitions)))
+        if len(machine_names) != len(self._partitions):
+            raise PartitionError("machine_names length must match partitions length")
+        self._names: Tuple[str, ...] = tuple(machine_names)
+        if state_labels is not None and len(state_labels) != self._n:
+            raise PartitionError("state_labels length must match num_states")
+        self._labels: Optional[Tuple[StateLabel, ...]] = (
+            tuple(state_labels) if state_labels is not None else None
+        )
+        self._label_index: Optional[Dict[StateLabel, int]] = (
+            {s: i for i, s in enumerate(self._labels)} if self._labels is not None else None
+        )
+
+        if _weights is not None:
+            weights = _weights
+        else:
+            weights = np.zeros((self._n, self._n), dtype=np.int64)
+            for partition in self._partitions:
+                weights += separation_matrix(partition)
+        weights = np.asarray(weights, dtype=np.int64)
+        weights.setflags(write=False)
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_machines(
+        cls, top: DFSM, machines: Sequence[DFSM]
+    ) -> "FaultGraph":
+        """Build ``G(top, machines)`` from DFSMs, using Algorithm 1 for each.
+
+        Every machine must be less than or equal to ``top``.
+        """
+        partitions = [partition_from_machine(top, m) for m in machines]
+        return cls(
+            top.num_states,
+            partitions,
+            state_labels=top.states,
+            machine_names=[m.name for m in machines],
+        )
+
+    @classmethod
+    def from_cross_product(cls, product: CrossProduct) -> "FaultGraph":
+        """Fault graph of the component machines of a :class:`CrossProduct`.
+
+        Uses the product's stored projections directly, avoiding the
+        lockstep walks of Algorithm 1.
+        """
+        partitions = [
+            Partition(product.projection(i)) for i in range(product.num_components)
+        ]
+        return cls(
+            product.num_states,
+            partitions,
+            state_labels=product.machine.states,
+            machine_names=[m.name for m in product.components],
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of nodes (states of ``T``)."""
+        return self._n
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machines folded into the edge weights."""
+        return len(self._partitions)
+
+    @property
+    def partitions(self) -> Tuple[Partition, ...]:
+        return self._partitions
+
+    @property
+    def machine_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """The symmetric ``(n, n)`` edge-weight matrix (read-only).
+
+        The diagonal is meaningless (a state is never "separated" from
+        itself) and always zero.
+        """
+        return self._weights
+
+    @property
+    def state_labels(self) -> Optional[Tuple[StateLabel, ...]]:
+        return self._labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FaultGraph(states=%d, machines=%d, dmin=%d)" % (
+            self._n,
+            self.num_machines,
+            self.dmin() if self._n > 1 else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Edge addressing
+    # ------------------------------------------------------------------
+    def _resolve(self, state: Union[int, StateLabel]) -> int:
+        if isinstance(state, (int, np.integer)) and (
+            self._labels is None or state not in (self._label_index or {})
+        ):
+            index = int(state)
+            if not 0 <= index < self._n:
+                raise PartitionError("state index %d out of range" % index)
+            return index
+        if self._label_index is None:
+            raise PartitionError(
+                "fault graph has no state labels; address edges by index"
+            )
+        try:
+            return self._label_index[state]
+        except KeyError:
+            raise PartitionError("unknown state %r" % (state,)) from None
+
+    def distance(self, a: Union[int, StateLabel], b: Union[int, StateLabel]) -> int:
+        """The distance ``d(ti, tj)`` of Definition 4 (the edge weight)."""
+        ia, ib = self._resolve(a), self._resolve(b)
+        return int(self._weights[ia, ib])
+
+    weight = distance
+
+    def edges(self) -> List[Tuple[int, int, int]]:
+        """All edges as ``(i, j, weight)`` with ``i < j``."""
+        out = []
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                out.append((i, j, int(self._weights[i, j])))
+        return out
+
+    # ------------------------------------------------------------------
+    # dmin and weakest edges
+    # ------------------------------------------------------------------
+    def dmin(self) -> int:
+        """The least edge weight ``dmin(T, M)``.
+
+        A graph with a single node has no edges; by convention its dmin is
+        reported as the number of machines (every machine trivially
+        "identifies" the only state), which keeps Theorems 1 and 2 true in
+        the degenerate case.
+        """
+        if self._n == 1:
+            return self.num_machines
+        off_diagonal = self._weights[~np.eye(self._n, dtype=bool)]
+        return int(off_diagonal.min())
+
+    def weakest_edges(self) -> List[EdgeKey]:
+        """Edges (as ``(i, j)`` index pairs, i < j) whose weight equals dmin."""
+        if self._n == 1:
+            return []
+        d = self.dmin()
+        upper = np.triu(np.ones((self._n, self._n), dtype=bool), k=1)
+        mask = (self._weights == d) & upper
+        return [(int(i), int(j)) for i, j in zip(*np.nonzero(mask))]
+
+    def edges_below(self, threshold: int) -> List[EdgeKey]:
+        """Edges with weight strictly less than ``threshold``."""
+        if self._n == 1:
+            return []
+        upper = np.triu(np.ones((self._n, self._n), dtype=bool), k=1)
+        mask = (self._weights < threshold) & upper
+        return [(int(i), int(j)) for i, j in zip(*np.nonzero(mask))]
+
+    # ------------------------------------------------------------------
+    # Incremental updates (used by Algorithm 2)
+    # ------------------------------------------------------------------
+    def with_partition(self, partition: Partition, name: Optional[str] = None) -> "FaultGraph":
+        """Return a new graph with one more machine's partition folded in."""
+        if partition.num_elements != self._n:
+            raise PartitionError(
+                "partition over %d elements does not match %d top states"
+                % (partition.num_elements, self._n)
+            )
+        new_weights = self._weights + separation_matrix(partition)
+        return FaultGraph(
+            self._n,
+            self._partitions + (partition,),
+            state_labels=self._labels,
+            machine_names=self._names + ((name or "M%d" % self.num_machines),),
+            _weights=new_weights,
+        )
+
+    def dmin_with(self, partition: Partition) -> int:
+        """``dmin`` of the graph that *would* result from adding ``partition``.
+
+        Cheaper than :meth:`with_partition` + :meth:`dmin` because no new
+        graph object is allocated; Algorithm 2 calls this for every
+        candidate in a lower cover.
+        """
+        if self._n == 1:
+            return self.num_machines + 1
+        combined = self._weights + separation_matrix(partition)
+        off_diagonal = combined[~np.eye(self._n, dtype=bool)]
+        return int(off_diagonal.min())
+
+    def covers(self, partition: Partition, edges: Iterable[EdgeKey]) -> bool:
+        """True if ``partition`` separates every edge in ``edges``."""
+        labels = partition.labels
+        for i, j in edges:
+            if labels[i] == labels[j]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for i in range(self._n):
+            graph.add_node(i, label=self._labels[i] if self._labels else i)
+        for i, j, w in self.edges():
+            graph.add_edge(i, j, weight=w)
+        return graph
+
+    def as_label_dict(self) -> Dict[Tuple[StateLabel, StateLabel], int]:
+        """Edge weights keyed by (label, label) pairs, for reporting."""
+        if self._labels is None:
+            raise PartitionError("fault graph has no state labels")
+        return {
+            (self._labels[i], self._labels[j]): w for i, j, w in self.edges()
+        }
+
+
+def build_fault_graph(top: DFSM, machines: Sequence[DFSM]) -> FaultGraph:
+    """Convenience alias for :meth:`FaultGraph.from_machines`."""
+    return FaultGraph.from_machines(top, machines)
+
+
+def dmin_of_machines(top: DFSM, machines: Sequence[DFSM]) -> int:
+    """``dmin(top, machines)`` computed directly from DFSMs."""
+    return FaultGraph.from_machines(top, machines).dmin()

@@ -1,0 +1,198 @@
+"""Executable forms of the paper's fault-tolerance theorems (Section 3).
+
+Theorem 1 — a set of machines ``M`` tolerates up to ``f`` crash faults
+iff ``dmin(T, M) > f`` where ``T`` is the reachable cross product of
+``M``.
+
+Theorem 2 — ``M`` tolerates up to ``f`` Byzantine faults iff
+``dmin(T, M) > 2 f``.
+
+Observation 1 — a set of ``n`` machines inherently tolerates
+``dmin - 1`` crash faults and ``(dmin - 1) // 2`` Byzantine faults.
+
+Theorem 4 — an (f, m)-fusion of ``A`` exists iff ``m + dmin(A) > f``;
+consequently the minimum number of backups needed to tolerate ``f``
+crash faults is ``max(0, f + 1 - dmin(A))``.
+
+All functions here are pure predicates/computations over machine sets;
+the constructive side (actually producing the backups) lives in
+:mod:`repro.core.fusion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .dfsm import DFSM
+from .fault_graph import FaultGraph
+from .partition import partition_from_machine
+from .product import CrossProduct
+
+__all__ = [
+    "FaultToleranceProfile",
+    "system_fault_graph",
+    "system_dmin",
+    "inherent_fault_tolerance",
+    "can_tolerate_crash_faults",
+    "can_tolerate_byzantine_faults",
+    "max_crash_faults",
+    "max_byzantine_faults",
+    "fusion_exists",
+    "minimum_backups_required",
+    "required_dmin",
+]
+
+
+@dataclass(frozen=True)
+class FaultToleranceProfile:
+    """Summary of the inherent fault tolerance of a machine set.
+
+    Attributes
+    ----------
+    dmin:
+        Minimum edge weight of the fault graph ``G(top, machines)``.
+    crash_faults:
+        Maximum number of crash faults tolerated (``dmin - 1``).
+    byzantine_faults:
+        Maximum number of Byzantine faults tolerated (``(dmin - 1) // 2``).
+    top_size:
+        Number of states of the reachable cross product.
+    num_machines:
+        Number of machines in the evaluated set.
+    """
+
+    dmin: int
+    crash_faults: int
+    byzantine_faults: int
+    top_size: int
+    num_machines: int
+
+
+def system_fault_graph(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> Tuple[FaultGraph, CrossProduct]:
+    """Fault graph of ``machines + backups`` w.r.t. ``R(machines)``.
+
+    The top is the reachable cross product of the *original* machines
+    (the paper's convention once backups are restricted to the closed
+    partition lattice of that top); backup machines are folded in through
+    Algorithm 1.  A pre-built :class:`CrossProduct` can be passed to avoid
+    recomputing it.
+    """
+    if product is None:
+        product = CrossProduct(machines)
+    graph = FaultGraph.from_cross_product(product)
+    top = product.machine
+    for backup in backups:
+        graph = graph.with_partition(partition_from_machine(top, backup), name=backup.name)
+    return graph, product
+
+
+def system_dmin(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> int:
+    """``dmin`` of the combined system ``machines + backups``."""
+    graph, _ = system_fault_graph(machines, backups, product)
+    return graph.dmin()
+
+
+def inherent_fault_tolerance(
+    machines: Sequence[DFSM], product: Optional[CrossProduct] = None
+) -> FaultToleranceProfile:
+    """Observation 1: how many faults the given set tolerates with no backups."""
+    graph, product = system_fault_graph(machines, (), product)
+    d = graph.dmin()
+    return FaultToleranceProfile(
+        dmin=d,
+        crash_faults=max(0, d - 1),
+        byzantine_faults=max(0, (d - 1) // 2),
+        top_size=product.num_states,
+        num_machines=len(machines),
+    )
+
+
+def can_tolerate_crash_faults(
+    machines: Sequence[DFSM],
+    f: int,
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Theorem 1: true iff the system tolerates ``f`` crash faults."""
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    return system_dmin(machines, backups, product) > f
+
+
+def can_tolerate_byzantine_faults(
+    machines: Sequence[DFSM],
+    f: int,
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Theorem 2: true iff the system tolerates ``f`` Byzantine faults."""
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    return system_dmin(machines, backups, product) > 2 * f
+
+
+def max_crash_faults(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> int:
+    """Largest ``f`` for which Theorem 1 holds (``dmin - 1``)."""
+    return max(0, system_dmin(machines, backups, product) - 1)
+
+
+def max_byzantine_faults(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM] = (),
+    product: Optional[CrossProduct] = None,
+) -> int:
+    """Largest ``f`` for which Theorem 2 holds (``(dmin - 1) // 2``)."""
+    return max(0, (system_dmin(machines, backups, product) - 1) // 2)
+
+
+def required_dmin(f: int, byzantine: bool = False) -> int:
+    """The ``dmin`` the combined system must reach to tolerate ``f`` faults.
+
+    ``f + 1`` for crash faults (Theorem 1), ``2 f + 1`` for Byzantine
+    faults (Theorem 2).
+    """
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    return (2 * f + 1) if byzantine else (f + 1)
+
+
+def fusion_exists(
+    machines: Sequence[DFSM],
+    f: int,
+    m: int,
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Theorem 4: an (f, m)-fusion of ``machines`` exists iff ``m + dmin > f``."""
+    if f < 0 or m < 0:
+        raise ValueError("f and m must be non-negative")
+    return m + system_dmin(machines, (), product) > f
+
+
+def minimum_backups_required(
+    machines: Sequence[DFSM],
+    f: int,
+    byzantine: bool = False,
+    product: Optional[CrossProduct] = None,
+) -> int:
+    """Minimum number of backup machines needed to tolerate ``f`` faults.
+
+    Each added machine can raise ``dmin`` by at most one, so the minimum
+    count is ``required_dmin(f) - dmin(A)`` (never negative).  This is the
+    number of machines Algorithm 2 produces.
+    """
+    target = required_dmin(f, byzantine=byzantine)
+    current = system_dmin(machines, (), product)
+    return max(0, target - current)

@@ -1,0 +1,451 @@
+"""(f, m)-fusion: definition, order, and Algorithm 2 (fusion generation).
+
+A set of backup machines ``F`` is an *(f, m)-fusion* of a machine set
+``A`` (Definition 5) when ``|F| = m`` and ``dmin(A ∪ F) > f``; such a
+system tolerates ``f`` crash faults (Theorem 1) or ``⌊f/2⌋`` Byzantine
+faults (Theorem 2).
+
+Algorithm 2 generates the minimum number of backups greedily: starting
+from the top of the closed partition lattice (which always raises ``dmin``
+by exactly one), it walks down lower covers as long as a smaller machine
+still covers every weakest edge of the current fault graph, then adds the
+machine reached and repeats until ``dmin(A ∪ F) > f``.  The number of
+machines produced is exactly ``required_dmin(f) - dmin(A)``.
+
+This module also implements Definition 6 (the order among fusions, via a
+bipartite matching over the pairwise machine order) and Theorem 3 (every
+(m - t)-subset of an (f, m)-fusion is an (f - t, m - t)-fusion), both as
+checkable predicates used by the test-suite and the exhaustive-search
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dfsm import DFSM
+from .exceptions import FusionError, FusionExistenceError
+from .fault_graph import FaultGraph
+from .fault_tolerance import required_dmin
+from .lattice import lower_cover
+from .partition import (
+    Partition,
+    machine_from_partition,
+    merge_blocks_and_close,
+    partition_from_machine,
+    quotient_table,
+)
+from .product import CrossProduct
+
+__all__ = [
+    "FusionResult",
+    "generate_fusion",
+    "generate_byzantine_fusion",
+    "is_fusion",
+    "fusion_machine_count",
+    "fusion_state_space",
+    "fusion_order_leq",
+    "check_subset_theorem",
+    "DescentStrategy",
+]
+
+#: Signature of a descent strategy: given the current fault graph and the
+#: candidate partitions from a lower cover that each raise ``dmin``, pick
+#: which candidate to descend into.
+DescentStrategy = Callable[[FaultGraph, List[Partition]], Partition]
+
+
+def _first_candidate(_graph: FaultGraph, candidates: List[Partition]) -> Partition:
+    """Default strategy: take the first improving candidate (paper's ∃F ∈ C)."""
+    return candidates[0]
+
+
+def _fewest_blocks(_graph: FaultGraph, candidates: List[Partition]) -> Partition:
+    """Prefer the candidate with the fewest blocks (smallest machine)."""
+    return min(candidates, key=lambda p: p.num_blocks)
+
+
+def _largest_gain(graph: FaultGraph, candidates: List[Partition]) -> Partition:
+    """Prefer the candidate whose addition yields the largest ``dmin``."""
+    return max(candidates, key=graph.dmin_with)
+
+
+STRATEGIES: Dict[str, DescentStrategy] = {
+    "first": _first_candidate,
+    "fewest_blocks": _fewest_blocks,
+    "largest_gain": _largest_gain,
+}
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Outcome of fusion generation.
+
+    Attributes
+    ----------
+    originals:
+        The input machine set ``A``.
+    backups:
+        The generated fusion machines ``F`` (quotients of the top), in the
+        order Algorithm 2 produced them.
+    partitions:
+        The closed partitions of the top corresponding to ``backups``.
+    product:
+        The reachable cross product of ``A`` (the top and its projections).
+    graph:
+        The final fault graph ``G(top, A ∪ F)``.
+    f:
+        The number of crash faults the combined system tolerates by design.
+    byzantine_f:
+        The number of Byzantine faults it tolerates (``f // 2``).
+    initial_dmin / final_dmin:
+        ``dmin`` before and after adding the backups.
+    """
+
+    originals: Tuple[DFSM, ...]
+    backups: Tuple[DFSM, ...]
+    partitions: Tuple[Partition, ...]
+    product: CrossProduct
+    graph: FaultGraph
+    f: int
+    initial_dmin: int
+    final_dmin: int
+
+    @property
+    def byzantine_f(self) -> int:
+        """Byzantine faults tolerated by the combined system (Theorem 2)."""
+        return max(0, (self.final_dmin - 1) // 2)
+
+    @property
+    def num_backups(self) -> int:
+        """Number of fusion machines generated, ``m``."""
+        return len(self.backups)
+
+    @property
+    def backup_sizes(self) -> Tuple[int, ...]:
+        """State counts of each backup machine (the paper's ``|Backup Machines|``)."""
+        return tuple(b.num_states for b in self.backups)
+
+    @property
+    def top_size(self) -> int:
+        """``|top|`` — number of states of the reachable cross product."""
+        return self.product.num_states
+
+    @property
+    def fusion_state_space(self) -> int:
+        """Product of backup sizes (the paper's ``|Fusion|`` column)."""
+        return int(np.prod(self.backup_sizes, dtype=object)) if self.backups else 1
+
+    @property
+    def all_machines(self) -> Tuple[DFSM, ...]:
+        """Originals followed by backups (the fault-tolerant system)."""
+        return self.originals + self.backups
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary summary convenient for reports and benchmarks."""
+        return {
+            "originals": [m.name for m in self.originals],
+            "f": self.f,
+            "top_size": self.top_size,
+            "num_backups": self.num_backups,
+            "backup_sizes": list(self.backup_sizes),
+            "fusion_state_space": self.fusion_state_space,
+            "initial_dmin": self.initial_dmin,
+            "final_dmin": self.final_dmin,
+            "byzantine_faults_tolerated": self.byzantine_f,
+        }
+
+
+def _separates_all(labels, edges) -> bool:
+    """True if the block-label vector puts both endpoints of every edge in
+    different blocks (i.e. the machine covers all the given edges)."""
+    for i, j in edges:
+        if labels[i] == labels[j]:
+            return False
+    return True
+
+
+def _descend(
+    top: DFSM,
+    graph: FaultGraph,
+    strategy: DescentStrategy,
+    max_descent: Optional[int] = None,
+) -> Partition:
+    """Inner loop of Algorithm 2: walk down the lattice from the top.
+
+    Starting from the identity partition (the top machine, which always
+    covers every edge), repeatedly move to a strictly smaller closed
+    partition that still covers every weakest edge of the current fault
+    graph (equivalently: still increases the system ``dmin``), stopping
+    when none exists or the bottom is reached.  Returns the partition of
+    the machine to add.
+
+    Candidates at each level are the closures of merging two blocks of the
+    current partition — exactly the construction behind the lower cover
+    (Definition 2).  With the default ``"first"`` strategy the walk takes
+    the first qualifying candidate and moves on without materialising the
+    rest, which matches the paper's nondeterministic ``∃F ∈ C`` choice
+    while keeping each level ``O(blocks² · blocks · |events|)`` in the
+    worst case and far cheaper in practice.  If *no* candidate qualifies,
+    no closed partition strictly below the current one covers the weakest
+    edges either (any such partition is refined by one of the candidates),
+    so stopping here preserves the minimality argument of Theorem 5.
+
+    The descent never needs the full top-state-space partition until the
+    end: it works on quotient transition tables whose size shrinks at
+    every step.
+    """
+    from itertools import combinations
+
+    weakest = graph.weakest_edges()
+    current = Partition.identity(top.num_states)
+    steps = 0
+    while current.num_blocks > 1:
+        if max_descent is not None and steps >= max_descent:
+            break
+        quotient = quotient_table(top, current)
+        base_labels = current.labels
+        chosen: Optional[Partition] = None
+        if strategy is _first_candidate:
+            for block_a, block_b in combinations(range(current.num_blocks), 2):
+                closed_blocks = merge_blocks_and_close(quotient, block_a, block_b)
+                pulled = closed_blocks[base_labels]
+                if _separates_all(pulled, weakest):
+                    chosen = Partition(pulled)
+                    break
+        else:
+            improving: List[Partition] = []
+            seen = set()
+            for block_a, block_b in combinations(range(current.num_blocks), 2):
+                closed_blocks = merge_blocks_and_close(quotient, block_a, block_b)
+                pulled = closed_blocks[base_labels]
+                if _separates_all(pulled, weakest):
+                    candidate = Partition(pulled)
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        improving.append(candidate)
+            if improving:
+                chosen = strategy(graph, improving)
+        if chosen is None:
+            break
+        current = chosen
+        steps += 1
+    return current
+
+
+def generate_fusion(
+    machines: Sequence[DFSM],
+    f: int,
+    *,
+    byzantine: bool = False,
+    existing_backups: Sequence[DFSM] = (),
+    max_backups: Optional[int] = None,
+    strategy: str | DescentStrategy = "first",
+    name_prefix: str = "F",
+    product: Optional[CrossProduct] = None,
+) -> FusionResult:
+    """Algorithm 2 — generate backup machines tolerating ``f`` faults.
+
+    Parameters
+    ----------
+    machines:
+        The original machine set ``A`` (at least one machine).
+    f:
+        Number of faults to tolerate.  By default these are crash faults;
+        with ``byzantine=True`` the target ``dmin`` is ``2 f + 1`` instead
+        of ``f + 1`` (Theorem 2), i.e. the generated system tolerates
+        ``f`` *Byzantine* faults.
+    existing_backups:
+        Backups already present (each must be ≤ the top); generation tops
+        up the system instead of starting from scratch.
+    max_backups:
+        Optional limit ``m`` on the number of *new* backups.  When the
+        limit is insufficient (Theorem 4), :class:`FusionExistenceError`
+        is raised.
+    strategy:
+        Which improving lower-cover candidate to descend into: ``"first"``
+        (the paper's nondeterministic choice resolved deterministically),
+        ``"fewest_blocks"``, ``"largest_gain"``, or a custom callable.
+    name_prefix:
+        Backup machines are named ``F1, F2, ..`` with this prefix.
+    product:
+        Pre-computed cross product of ``machines`` to reuse.
+
+    Returns
+    -------
+    FusionResult
+        The generated backups plus the final fault graph and statistics.
+
+    Notes
+    -----
+    The number of new backups equals ``required_dmin - dmin(A ∪ existing)``
+    because the machine added in each outer iteration covers every weakest
+    edge of the current fault graph and therefore raises ``dmin`` by
+    exactly one (Theorem 5).
+    """
+    if not machines:
+        raise FusionError("cannot generate a fusion for an empty machine set")
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    if isinstance(strategy, str):
+        try:
+            strategy_fn = STRATEGIES[strategy]
+        except KeyError:
+            raise FusionError(
+                "unknown strategy %r (available: %s)" % (strategy, sorted(STRATEGIES))
+            ) from None
+    else:
+        strategy_fn = strategy
+
+    target_dmin = required_dmin(f, byzantine=byzantine)
+    crash_equivalent_f = target_dmin - 1
+
+    if product is None:
+        product = CrossProduct(machines)
+    top = product.machine
+
+    graph = FaultGraph.from_cross_product(product)
+    for backup in existing_backups:
+        graph = graph.with_partition(partition_from_machine(top, backup), name=backup.name)
+    initial_dmin = graph.dmin()
+
+    needed = max(0, target_dmin - initial_dmin)
+    if max_backups is not None and needed > max_backups:
+        raise FusionExistenceError(
+            "no (%d, %d)-fusion exists: dmin(A)=%d so at least %d backups are required "
+            "(Theorem 4: m + dmin(A) > f)"
+            % (crash_equivalent_f, max_backups, initial_dmin, needed)
+        )
+
+    new_partitions: List[Partition] = []
+    new_machines: List[DFSM] = []
+    while graph.dmin() <= crash_equivalent_f:
+        chosen = _descend(top, graph, strategy_fn)
+        index = len(existing_backups) + len(new_machines) + 1
+        name = "%s%d" % (name_prefix, index)
+        machine = machine_from_partition(top, chosen, name=name)
+        graph = graph.with_partition(chosen, name=name)
+        new_partitions.append(chosen)
+        new_machines.append(machine)
+
+    return FusionResult(
+        originals=tuple(machines),
+        backups=tuple(existing_backups) + tuple(new_machines),
+        partitions=tuple(partition_from_machine(top, b) for b in existing_backups)
+        + tuple(new_partitions),
+        product=product,
+        graph=graph,
+        f=crash_equivalent_f,
+        initial_dmin=initial_dmin,
+        final_dmin=graph.dmin(),
+    )
+
+
+def generate_byzantine_fusion(
+    machines: Sequence[DFSM], f: int, **kwargs
+) -> FusionResult:
+    """Generate backups tolerating ``f`` *Byzantine* faults (``dmin > 2 f``)."""
+    return generate_fusion(machines, f, byzantine=True, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Predicates over fusions
+# ----------------------------------------------------------------------
+def is_fusion(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM],
+    f: int,
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Definition 5: true iff ``backups`` is an (f, len(backups))-fusion of ``machines``."""
+    if product is None:
+        product = CrossProduct(machines)
+    graph = FaultGraph.from_cross_product(product)
+    top = product.machine
+    for backup in backups:
+        graph = graph.with_partition(partition_from_machine(top, backup), name=backup.name)
+    return graph.dmin() > f
+
+
+def fusion_machine_count(result: FusionResult) -> int:
+    """Number of backup machines in a :class:`FusionResult` (``m``)."""
+    return result.num_backups
+
+
+def fusion_state_space(backups: Sequence[DFSM]) -> int:
+    """The paper's ``|Fusion|`` metric: the product of backup machine sizes."""
+    space = 1
+    for backup in backups:
+        space *= backup.num_states
+    return space
+
+
+def fusion_order_leq(
+    first: Sequence[DFSM],
+    second: Sequence[DFSM],
+    top: DFSM,
+) -> bool:
+    """Definition 6: true iff fusion ``first`` <= fusion ``second``.
+
+    ``first <= second`` holds when the machines of ``second`` can be
+    ordered as ``G1..Gm`` with ``F_i <= G_i`` for every ``i`` (machine
+    order, i.e. partition order over ``top``).  The strictness condition
+    of the paper (at least one strict inequality) is *not* required here;
+    use ``fusion_order_leq(a, b, top) and not fusion_order_leq(b, a, top)``
+    for the strict order.
+
+    The ordering requirement is a perfect-matching problem on the
+    bipartite "F_i <= G_j" relation, solved with Hopcroft–Karp via
+    networkx.
+    """
+    if len(first) != len(second):
+        return False
+    if not first:
+        return True
+    import networkx as nx
+
+    first_partitions = [partition_from_machine(top, m) for m in first]
+    second_partitions = [partition_from_machine(top, m) for m in second]
+    graph = nx.Graph()
+    left = [("F", i) for i in range(len(first))]
+    right = [("G", j) for j in range(len(second))]
+    graph.add_nodes_from(left, bipartite=0)
+    graph.add_nodes_from(right, bipartite=1)
+    for i, fp in enumerate(first_partitions):
+        for j, gp in enumerate(second_partitions):
+            if fp <= gp:
+                graph.add_edge(("F", i), ("G", j))
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=left)
+    matched = sum(1 for node in left if node in matching)
+    return matched == len(first)
+
+
+def check_subset_theorem(
+    machines: Sequence[DFSM],
+    backups: Sequence[DFSM],
+    f: int,
+    t: int,
+    product: Optional[CrossProduct] = None,
+) -> bool:
+    """Theorem 3: every (m - t)-subset of an (f, m)-fusion is an (f - t, m - t)-fusion.
+
+    Verifies the statement for *all* subsets of size ``m - t``; returns
+    False as soon as one subset fails.  Intended for tests and small
+    systems (the number of subsets is combinatorial).
+    """
+    from itertools import combinations
+
+    if t > min(f, len(backups)):
+        raise ValueError("t must satisfy t <= min(f, m)")
+    if not is_fusion(machines, backups, f, product=product):
+        raise FusionError("the given backups are not an (f, m)-fusion to begin with")
+    if product is None:
+        product = CrossProduct(machines)
+    keep = len(backups) - t
+    for subset in combinations(backups, keep):
+        if not is_fusion(machines, subset, f - t, product=product):
+            return False
+    return True

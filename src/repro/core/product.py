@@ -1,0 +1,213 @@
+"""Reachable cross product of a set of DFSMs (the ``top`` machine).
+
+Section 2 of the paper: given machines ``A1 .. An``, form the machine
+whose states are tuples ``(a1, .., an)``, whose alphabet is the union of
+the component alphabets and whose transition function applies each event
+component-wise (components whose alphabet does not contain the event stay
+put).  Restricting to the states reachable from the tuple of initial
+states yields ``R(A)``, written ``top`` / ``⊤`` throughout the paper.
+
+Every input machine is less than or equal to ``top`` in the closed
+partition order, so knowing the state of ``top`` determines the state of
+every component; :class:`CrossProduct` exposes those projections as dense
+NumPy arrays, which is what the fault-graph and fusion algorithms consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .dfsm import DFSM
+from .exceptions import InvalidMachineError, UnknownStateError
+from .types import EventLabel, StateLabel, StateTuple
+
+__all__ = ["CrossProduct", "reachable_cross_product", "merged_alphabet"]
+
+
+def merged_alphabet(machines: Sequence[DFSM]) -> Tuple[EventLabel, ...]:
+    """Union of the machines' alphabets, ordered by first appearance.
+
+    The ordering is deterministic so that repeated constructions of the
+    same product index events identically.
+    """
+    seen: Dict[EventLabel, None] = {}
+    for machine in machines:
+        for event in machine.events:
+            seen.setdefault(event, None)
+    return tuple(seen.keys())
+
+
+class CrossProduct:
+    """The reachable cross product of a sequence of DFSMs.
+
+    Besides the product machine itself (available as :attr:`machine`),
+    this class retains:
+
+    * the original component machines (:attr:`components`);
+    * for each component, the projection from top-state index to
+      component-state index (:meth:`projection`), i.e. the closed
+      partition of the top state set induced by that component;
+    * the tuple label of every top state (:meth:`state_tuple`).
+
+    Parameters
+    ----------
+    machines:
+        The component machines, in a fixed order.  At least one machine
+        is required.
+    name:
+        Display name for the product machine (defaults to ``"top"``).
+    """
+
+    __slots__ = ("_components", "_machine", "_projections", "_tuples", "_tuple_index")
+
+    def __init__(self, machines: Sequence[DFSM], name: str = "top") -> None:
+        if not machines:
+            raise InvalidMachineError("cannot build a cross product of zero machines")
+        self._components: Tuple[DFSM, ...] = tuple(machines)
+        events = merged_alphabet(self._components)
+
+        # Breadth-first exploration of the reachable tuple space.  Tuples
+        # are tracked as tuples of component *indices* to keep hashing
+        # cheap, and converted to label tuples only for the public API.
+        initial = tuple(m.initial_index for m in self._components)
+        index_of: Dict[Tuple[int, ...], int] = {initial: 0}
+        order: List[Tuple[int, ...]] = [initial]
+        queue: deque[Tuple[int, ...]] = deque([initial])
+
+        # Pre-resolve, per event, the column of each component table (or
+        # None when the component ignores the event).
+        event_columns: List[List[int | None]] = []
+        for event in events:
+            cols: List[int | None] = []
+            for machine in self._components:
+                cols.append(machine.event_index(event) if machine.has_event(event) else None)
+            event_columns.append(cols)
+
+        transitions_idx: List[List[int]] = []
+        while queue:
+            current = queue.popleft()
+            row: List[int] = []
+            for cols in event_columns:
+                nxt = tuple(
+                    current[ci] if col is None else int(self._components[ci].transition_table[current[ci], col])
+                    for ci, col in enumerate(cols)
+                )
+                target = index_of.get(nxt)
+                if target is None:
+                    target = len(order)
+                    index_of[nxt] = target
+                    order.append(nxt)
+                    queue.append(nxt)
+                row.append(target)
+            transitions_idx.append(row)
+        # The queue-driven loop appends rows in discovery order, but new
+        # states found late have not had their rows computed yet if they
+        # were discovered after the loop over `queue` moved on.  Because we
+        # push to the queue as soon as a state is discovered and pop in
+        # FIFO order, every discovered state *is* processed; however rows
+        # are appended in processing order which equals discovery order,
+        # so transitions_idx lines up with `order`.
+        n = len(order)
+        table = np.asarray(transitions_idx, dtype=np.int64).reshape(n, len(events) if events else 0)
+
+        self._tuples: Tuple[StateTuple, ...] = tuple(
+            tuple(self._components[ci].state_label(si) for ci, si in enumerate(idx_tuple))
+            for idx_tuple in order
+        )
+        self._tuple_index: Dict[StateTuple, int] = {t: i for i, t in enumerate(self._tuples)}
+
+        transitions = {
+            self._tuples[i]: {events[j]: self._tuples[int(table[i, j])] for j in range(len(events))}
+            for i in range(n)
+        }
+        self._machine = DFSM(self._tuples, events, transitions, self._tuples[0], name=name)
+
+        # Projections: top-state index -> component-state index.
+        projections = np.empty((len(self._components), n), dtype=np.int64)
+        for ci in range(len(self._components)):
+            projections[ci, :] = [order[ti][ci] for ti in range(n)]
+        projections.setflags(write=False)
+        self._projections = projections
+
+    # ------------------------------------------------------------------
+    @property
+    def machine(self) -> DFSM:
+        """The reachable cross product as a plain :class:`DFSM`."""
+        return self._machine
+
+    @property
+    def components(self) -> Tuple[DFSM, ...]:
+        """The component machines in construction order."""
+        return self._components
+
+    @property
+    def num_states(self) -> int:
+        """Number of reachable product states, ``|top|``."""
+        return self._machine.num_states
+
+    @property
+    def num_components(self) -> int:
+        return len(self._components)
+
+    def __len__(self) -> int:
+        return self.num_states
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CrossProduct(components=%d, states=%d)" % (
+            self.num_components,
+            self.num_states,
+        )
+
+    # ------------------------------------------------------------------
+    def state_tuple(self, top_index: int) -> StateTuple:
+        """The component-label tuple of the top state with index ``top_index``."""
+        return self._tuples[top_index]
+
+    def state_tuples(self) -> Tuple[StateTuple, ...]:
+        """All reachable top states as component-label tuples."""
+        return self._tuples
+
+    def index_of(self, state: StateTuple) -> int:
+        """Index of the top state with the given component-label tuple."""
+        try:
+            return self._tuple_index[tuple(state)]
+        except KeyError:
+            raise UnknownStateError("tuple %r is not a reachable product state" % (state,)) from None
+
+    def projection(self, component: int) -> np.ndarray:
+        """Projection of top states onto component ``component``.
+
+        Returns a read-only integer array ``p`` of length ``|top|`` where
+        ``p[t]`` is the state *index* (within that component machine) that
+        top state ``t`` projects to.  This is exactly the closed partition
+        of the top state set induced by the component (Section 2.1).
+        """
+        if not 0 <= component < len(self._components):
+            raise IndexError("component index %d out of range" % component)
+        return self._projections[component]
+
+    def projections(self) -> np.ndarray:
+        """All projections as a ``(num_components, |top|)`` array."""
+        return self._projections
+
+    def project_state(self, top_state: StateTuple, component: int) -> StateLabel:
+        """Label of the component state that ``top_state`` projects to."""
+        ti = self.index_of(top_state)
+        machine = self._components[component]
+        return machine.state_label(int(self._projections[component, ti]))
+
+    def component_block_labels(self, component: int) -> np.ndarray:
+        """Alias for :meth:`projection` with the paper's partition vocabulary."""
+        return self.projection(component)
+
+
+def reachable_cross_product(machines: Sequence[DFSM], name: str = "top") -> DFSM:
+    """Convenience wrapper returning only the product :class:`DFSM`.
+
+    Use :class:`CrossProduct` directly when the component projections are
+    also needed (they are, for fault graphs and fusion generation).
+    """
+    return CrossProduct(machines, name=name).machine

@@ -1,0 +1,216 @@
+"""The replication baseline the paper compares against (Sections 1 and 6).
+
+To tolerate ``f`` crash faults among ``n`` machines, replication keeps
+``f`` extra copies of every machine (``n·f`` backups); for ``f``
+Byzantine faults it keeps ``2·f`` copies (``2·n·f`` backups) so a
+majority vote over ``2·f + 1`` instances of every machine exposes the
+liars.  The paper's ``|Replication|`` column measures the backup state
+space as ``(Π|Mi|)^f``.
+
+This module provides the replica-generation helpers, the state-space
+accounting, and a :class:`ReplicatedSystem` recovery path so the
+simulation benchmarks can compare fusion-based recovery against
+replication end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .dfsm import DFSM
+from .exceptions import FaultToleranceExceededError, RecoveryError
+from .types import StateLabel
+
+__all__ = [
+    "replicate",
+    "replication_backup_count",
+    "replication_state_space",
+    "ReplicatedSystem",
+]
+
+
+def replicate(
+    machines: Sequence[DFSM], f: int, byzantine: bool = False
+) -> List[DFSM]:
+    """Create the replica machines required by the replication approach.
+
+    Returns ``f`` copies of each machine for crash tolerance, or ``2·f``
+    copies for Byzantine tolerance, named ``<name>/copy<k>``.
+    """
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    copies_per_machine = 2 * f if byzantine else f
+    replicas: List[DFSM] = []
+    for machine in machines:
+        for copy_index in range(1, copies_per_machine + 1):
+            replicas.append(machine.renamed("%s/copy%d" % (machine.name, copy_index)))
+    return replicas
+
+
+def replication_backup_count(num_machines: int, f: int, byzantine: bool = False) -> int:
+    """Number of backup machines replication needs (``n·f`` or ``2·n·f``)."""
+    if num_machines < 0 or f < 0:
+        raise ValueError("num_machines and f must be non-negative")
+    return num_machines * (2 * f if byzantine else f)
+
+
+def replication_state_space(machines: Sequence[DFSM], f: int) -> int:
+    """The paper's ``|Replication|`` metric: ``(Π |Mi|)^f``."""
+    if f < 0:
+        raise ValueError("number of faults must be non-negative")
+    product = 1
+    for machine in machines:
+        product *= machine.num_states
+    return product**f
+
+
+@dataclass(frozen=True)
+class ReplicatedRecoveryOutcome:
+    """Result of recovering a replicated system.
+
+    Attributes
+    ----------
+    machine_states:
+        Recovered state per *original* machine name.
+    crashed_groups:
+        Original machines all of whose instances crashed (recovery
+        impossible for them) — empty when recovery succeeded.
+    suspected_byzantine:
+        Instance names whose report disagreed with their group's majority.
+    """
+
+    machine_states: Dict[str, StateLabel]
+    crashed_groups: Tuple[str, ...]
+    suspected_byzantine: Tuple[str, ...]
+
+
+class ReplicatedSystem:
+    """A replication-based fault-tolerant system over a set of machines.
+
+    Each original machine together with its copies forms a *group*; all
+    instances of a group run the same DFSM on the same inputs, so in a
+    fault-free run they agree.  Crash recovery reads any surviving
+    instance of the group; Byzantine recovery takes the group majority.
+
+    Parameters
+    ----------
+    machines:
+        The original machines.
+    f:
+        Number of faults the system must tolerate.
+    byzantine:
+        Whether those faults may be Byzantine.
+    """
+
+    def __init__(self, machines: Sequence[DFSM], f: int, byzantine: bool = False) -> None:
+        if not machines:
+            raise ValueError("a replicated system needs at least one machine")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ValueError("machine names must be unique: %r" % names)
+        self._originals = tuple(machines)
+        self._f = int(f)
+        self._byzantine = bool(byzantine)
+        self._replicas = tuple(replicate(machines, f, byzantine=byzantine))
+        # Group membership: original name -> instance names (primary first).
+        self._groups: Dict[str, List[str]] = {m.name: [m.name] for m in machines}
+        for replica in self._replicas:
+            original_name = replica.name.rsplit("/copy", 1)[0]
+            self._groups[original_name].append(replica.name)
+        self._instances: Dict[str, DFSM] = {m.name: m for m in machines}
+        self._instances.update({r.name: r for r in self._replicas})
+
+    # ------------------------------------------------------------------
+    @property
+    def originals(self) -> Tuple[DFSM, ...]:
+        return self._originals
+
+    @property
+    def replicas(self) -> Tuple[DFSM, ...]:
+        """The backup copies (``n·f`` or ``2·n·f`` machines)."""
+        return self._replicas
+
+    @property
+    def f(self) -> int:
+        return self._f
+
+    @property
+    def byzantine(self) -> bool:
+        return self._byzantine
+
+    @property
+    def num_backups(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def backup_state_space(self) -> int:
+        """``(Π |Mi|)^f`` — the paper's replication state-space metric."""
+        return replication_state_space(self._originals, self._f)
+
+    def instance_names(self) -> Tuple[str, ...]:
+        """All instance names, originals first then copies."""
+        return tuple(self._instances)
+
+    def group_of(self, instance_name: str) -> str:
+        """Original machine name an instance belongs to."""
+        for original, members in self._groups.items():
+            if instance_name in members:
+                return original
+        raise RecoveryError("unknown instance %r" % instance_name)
+
+    # ------------------------------------------------------------------
+    def recover(
+        self, observations: Mapping[str, Optional[StateLabel]]
+    ) -> ReplicatedRecoveryOutcome:
+        """Recover every original machine's state from instance reports.
+
+        ``observations`` maps instance name to its reported state, or
+        ``None`` for crashed instances (missing keys count as crashed).
+
+        * Crash model: the first surviving instance of each group is
+          trusted.  If every instance of some group crashed, recovery for
+          that machine is impossible and
+          :class:`FaultToleranceExceededError` is raised.
+        * Byzantine model: the majority report of each group wins; a tie
+          (possible only when more than ``f`` machines lie) raises
+          :class:`RecoveryError`.
+        """
+        unknown = set(observations) - set(self._instances)
+        if unknown:
+            raise RecoveryError("observations for unknown instances: %r" % sorted(unknown))
+
+        machine_states: Dict[str, StateLabel] = {}
+        dead_groups: List[str] = []
+        suspected: List[str] = []
+        for original, members in self._groups.items():
+            reports = [
+                (name, observations.get(name)) for name in members
+            ]
+            live = [(name, state) for name, state in reports if state is not None]
+            if not live:
+                dead_groups.append(original)
+                continue
+            if self._byzantine:
+                votes = Counter(state for _, state in live)
+                (winner, count), *rest = votes.most_common()
+                if rest and rest[0][1] == count:
+                    raise RecoveryError(
+                        "ambiguous majority for machine %r: %r" % (original, votes)
+                    )
+                machine_states[original] = winner
+                suspected.extend(name for name, state in live if state != winner)
+            else:
+                machine_states[original] = live[0][1]
+
+        if dead_groups:
+            raise FaultToleranceExceededError(
+                "all instances of %r crashed; replication cannot recover them"
+                % dead_groups
+            )
+        return ReplicatedRecoveryOutcome(
+            machine_states=machine_states,
+            crashed_groups=tuple(dead_groups),
+            suspected_byzantine=tuple(suspected),
+        )

@@ -1,0 +1,48 @@
+"""Shared type aliases used across the :mod:`repro.core` package.
+
+The library represents DFSM states and events by arbitrary hashable
+labels at the API boundary (strings, integers, tuples) and by dense
+integer indices internally, so that hot loops can operate on NumPy
+arrays.  These aliases document which of the two representations a
+function expects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence, Tuple, Union
+
+__all__ = [
+    "StateLabel",
+    "EventLabel",
+    "StateIndex",
+    "EventIndex",
+    "TransitionMap",
+    "StateTuple",
+    "BlockLabelVector",
+]
+
+#: A user-facing state label.  Any hashable value is accepted.
+StateLabel = Hashable
+
+#: A user-facing event label.  Any hashable value is accepted.
+EventLabel = Hashable
+
+#: Internal dense index of a state (row into the transition table).
+StateIndex = int
+
+#: Internal dense index of an event (column into the transition table).
+EventIndex = int
+
+#: Mapping form of a transition function:
+#: ``{state_label: {event_label: next_state_label}}``.
+TransitionMap = Mapping[StateLabel, Mapping[EventLabel, StateLabel]]
+
+#: A state of a reachable cross product: one component label per machine.
+StateTuple = Tuple[StateLabel, ...]
+
+#: A partition of the top machine's states encoded as a vector of block
+#: identifiers, one entry per top state index.
+BlockLabelVector = Sequence[int]
+
+#: Either representation of a state accepted by convenience helpers.
+AnyState = Union[StateLabel, StateIndex]

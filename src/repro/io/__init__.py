@@ -1,0 +1,25 @@
+"""Serialisation: JSON round-trips and Graphviz DOT export."""
+
+from .dot import fault_graph_to_dot, lattice_to_dot, machine_to_dot
+from .json_io import (
+    dump_machine,
+    dumps_machine,
+    fusion_result_to_dict,
+    load_machine,
+    loads_machine,
+    machine_from_dict,
+    machine_to_dict,
+)
+
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "dump_machine",
+    "load_machine",
+    "dumps_machine",
+    "loads_machine",
+    "fusion_result_to_dict",
+    "machine_to_dot",
+    "fault_graph_to_dot",
+    "lattice_to_dot",
+]

@@ -1,0 +1,96 @@
+"""Graphviz DOT export of machines, fault graphs and the closed partition lattice.
+
+These mirror the figures of the paper: :func:`machine_to_dot` draws a
+DFSM like Figs. 1–2, :func:`fault_graph_to_dot` draws the weighted graphs
+of Fig. 4, and :func:`lattice_to_dot` draws the Hasse diagram of Fig. 3.
+The output is plain DOT text so no Graphviz installation is required to
+generate it (only to render it).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.dfsm import DFSM
+from ..core.fault_graph import FaultGraph
+from ..core.lattice import ClosedPartitionLattice
+
+__all__ = ["machine_to_dot", "fault_graph_to_dot", "lattice_to_dot"]
+
+
+def _quote(text: object) -> str:
+    return '"%s"' % str(text).replace('"', r"\"")
+
+
+def machine_to_dot(machine: DFSM, rankdir: str = "LR") -> str:
+    """DOT digraph of a DFSM: states as nodes, transitions as labelled edges.
+
+    Self-loops on ignored events are collapsed into a single edge whose
+    label lists all looping events, keeping the drawings readable.
+    """
+    lines = [
+        "digraph %s {" % _quote(machine.name),
+        '  rankdir=%s;' % rankdir,
+        '  node [shape=circle];',
+        '  __start [shape=point, label=""];',
+        "  __start -> %s;" % _quote(machine.initial),
+    ]
+    for state in machine.states:
+        lines.append("  %s;" % _quote(state))
+    for state in machine.states:
+        grouped: dict = {}
+        for event in machine.events:
+            target = machine.step(state, event)
+            grouped.setdefault(target, []).append(event)
+        for target, events in grouped.items():
+            label = ", ".join(str(e) for e in events)
+            lines.append(
+                "  %s -> %s [label=%s];" % (_quote(state), _quote(target), _quote(label))
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fault_graph_to_dot(graph: FaultGraph, show_zero_edges: bool = True) -> str:
+    """DOT graph of a fault graph with edge weights as labels (Fig. 4 style)."""
+    lines = ["graph fault_graph {", "  node [shape=circle];"]
+    labels = graph.state_labels or tuple(range(graph.num_states))
+    for label in labels:
+        lines.append("  %s;" % _quote(label))
+    for i, j, weight in graph.edges():
+        if weight == 0 and not show_zero_edges:
+            continue
+        style = ' style=dashed' if weight == 0 else ""
+        lines.append(
+            "  %s -- %s [label=%s%s];"
+            % (_quote(labels[i]), _quote(labels[j]), _quote(weight), style)
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lattice_to_dot(
+    lattice: ClosedPartitionLattice,
+    names: Optional[Mapping[int, str]] = None,
+) -> str:
+    """DOT digraph of the closed partition lattice Hasse diagram (Fig. 3 style).
+
+    Each node is labelled with its block structure (or a caller-supplied
+    name); edges point from covering to covered elements.
+    """
+    machine = lattice.machine
+    lines = ["digraph lattice {", '  rankdir=BT;', "  node [shape=box];"]
+    for index, partition in enumerate(lattice.partitions):
+        if names and index in names:
+            label = names[index]
+        else:
+            blocks = partition.blocks()
+            label = " | ".join(
+                "{" + ",".join(str(machine.state_label(e)) for e in sorted(block)) + "}"
+                for block in blocks
+            )
+        lines.append("  n%d [label=%s];" % (index, _quote(label)))
+    for upper, lower in lattice.cover_edges():
+        lines.append("  n%d -> n%d;" % (lower, upper))
+    lines.append("}")
+    return "\n".join(lines)

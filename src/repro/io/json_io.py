@@ -1,0 +1,132 @@
+"""JSON serialisation of machines and fusion results.
+
+The paper's recovery model assumes the *description* of each DFSM (as
+opposed to its execution state) survives failures on durable storage;
+this module is that storage format.  State and event labels are encoded
+with a small tagging scheme so that the tuples and frozensets produced by
+cross products and fusion machines round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import SerializationError
+from ..core.fusion import FusionResult
+
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "dump_machine",
+    "load_machine",
+    "dumps_machine",
+    "loads_machine",
+    "fusion_result_to_dict",
+]
+
+
+def _encode_label(label: Any) -> Any:
+    """Encode a state/event label into a JSON-safe structure."""
+    if isinstance(label, (str, int, float, bool)) or label is None:
+        return label
+    if isinstance(label, tuple):
+        return {"__tuple__": [_encode_label(item) for item in label]}
+    if isinstance(label, frozenset):
+        encoded = [_encode_label(item) for item in label]
+        encoded.sort(key=lambda item: json.dumps(item, sort_keys=True, default=str))
+        return {"__frozenset__": encoded}
+    raise SerializationError("cannot serialise label of type %r" % type(label).__name__)
+
+
+def _decode_label(value: Any) -> Any:
+    """Inverse of :func:`_encode_label`."""
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode_label(item) for item in value["__tuple__"])
+        if "__frozenset__" in value:
+            return frozenset(_decode_label(item) for item in value["__frozenset__"])
+        raise SerializationError("unrecognised label encoding: %r" % (value,))
+    if isinstance(value, list):
+        return tuple(_decode_label(item) for item in value)
+    return value
+
+
+def machine_to_dict(machine: DFSM) -> Dict[str, Any]:
+    """A JSON-serialisable dictionary describing ``machine`` completely."""
+    return {
+        "format": "repro.dfsm/1",
+        "name": machine.name,
+        "states": [_encode_label(s) for s in machine.states],
+        "events": [_encode_label(e) for e in machine.events],
+        "initial": _encode_label(machine.initial),
+        "transitions": [
+            [int(machine.transition_table[i, j]) for j in range(machine.num_events)]
+            for i in range(machine.num_states)
+        ],
+    }
+
+
+def machine_from_dict(data: Dict[str, Any]) -> DFSM:
+    """Rebuild a :class:`DFSM` from :func:`machine_to_dict` output."""
+    try:
+        if data.get("format") != "repro.dfsm/1":
+            raise SerializationError("unsupported machine format %r" % data.get("format"))
+        states = [_decode_label(s) for s in data["states"]]
+        events = [_decode_label(e) for e in data["events"]]
+        initial = _decode_label(data["initial"])
+        table = data["transitions"]
+        transitions = {
+            states[i]: {events[j]: states[table[i][j]] for j in range(len(events))}
+            for i in range(len(states))
+        }
+        return DFSM(states, events, transitions, initial, name=data.get("name", "DFSM"))
+    except SerializationError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - convert to library error
+        raise SerializationError("malformed machine description: %s" % exc) from exc
+
+
+def dumps_machine(machine: DFSM, indent: Optional[int] = 2) -> str:
+    """Serialise a machine to a JSON string."""
+    return json.dumps(machine_to_dict(machine), indent=indent)
+
+
+def loads_machine(text: str) -> DFSM:
+    """Deserialise a machine from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError("invalid JSON: %s" % exc) from exc
+    return machine_from_dict(data)
+
+
+def dump_machine(machine: DFSM, destination: Union[str, IO[str]]) -> None:
+    """Write a machine to a file path or file-like object."""
+    text = dumps_machine(machine)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+
+
+def load_machine(source: Union[str, IO[str]]) -> DFSM:
+    """Read a machine from a file path or file-like object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    return loads_machine(text)
+
+
+def fusion_result_to_dict(result: FusionResult) -> Dict[str, Any]:
+    """A JSON-serialisable summary of a fusion run (machines included)."""
+    return {
+        "format": "repro.fusion/1",
+        "summary": result.summary(),
+        "originals": [machine_to_dict(m) for m in result.originals],
+        "backups": [machine_to_dict(m) for m in result.backups],
+    }

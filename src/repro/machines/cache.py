@@ -1,0 +1,172 @@
+"""Cache-coherence protocol controllers as DFSMs (MSI, MESI, MOESI).
+
+The paper's results table uses the MESI protocol (4 states) as one of its
+"real world DFSMs".  The machines here model the per-cache-line
+controller of a snooping protocol: the events are the processor-side
+requests of the local cache (``local_read`` / ``local_write`` /
+``evict``) and the bus transactions observed from other caches
+(``bus_read`` / ``bus_write`` / ``bus_upgrade``).
+
+These controllers deliberately stay at the protocol-state level (no data,
+no address): the execution state to be protected by fusion is exactly the
+coherence state of the tracked line.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.dfsm import DFSM
+from ..core.types import EventLabel
+
+__all__ = [
+    "CACHE_EVENTS",
+    "msi",
+    "mesi",
+    "moesi",
+]
+
+#: Canonical event alphabet shared by the coherence controllers.
+CACHE_EVENTS = (
+    "local_read",
+    "local_write",
+    "evict",
+    "bus_read",
+    "bus_write",
+)
+
+
+def _with_extra_events(machine_events: Sequence[EventLabel], events: Optional[Sequence[EventLabel]]):
+    base = tuple(events) if events is not None else tuple(machine_events)
+    for event in machine_events:
+        if event not in base:
+            base = base + (event,)
+    return base
+
+
+def msi(events: Optional[Sequence[EventLabel]] = None, name: str = "MSI") -> DFSM:
+    """The 3-state MSI coherence controller (Modified / Shared / Invalid)."""
+    base = _with_extra_events(CACHE_EVENTS, events)
+    transitions = {
+        "I": {
+            "local_read": "S",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "I",
+            "bus_write": "I",
+        },
+        "S": {
+            "local_read": "S",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+        "M": {
+            "local_read": "M",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+    }
+    full = {s: {e: row.get(e, s) for e in base} for s, row in transitions.items()}
+    return DFSM(["I", "S", "M"], base, full, "I", name=name)
+
+
+def mesi(events: Optional[Sequence[EventLabel]] = None, name: str = "MESI") -> DFSM:
+    """The 4-state MESI coherence controller (Modified / Exclusive / Shared / Invalid).
+
+    Transition summary (per tracked line):
+
+    * ``I --local_read--> E`` (no other sharer is modelled at this level;
+      a subsequent ``bus_read`` demotes E to S),
+      ``I --local_write--> M``;
+    * ``E --local_write--> M``, ``E --bus_read--> S``,
+      ``E --bus_write--> I``;
+    * ``S --local_write--> M``, ``S --bus_write--> I``;
+    * ``M --bus_read--> S``, ``M --bus_write--> I``;
+    * ``evict`` returns any state to ``I``.
+    """
+    base = _with_extra_events(CACHE_EVENTS, events)
+    transitions = {
+        "I": {
+            "local_read": "E",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "I",
+            "bus_write": "I",
+        },
+        "E": {
+            "local_read": "E",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+        "S": {
+            "local_read": "S",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+        "M": {
+            "local_read": "M",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+    }
+    full = {s: {e: row.get(e, s) for e in base} for s, row in transitions.items()}
+    return DFSM(["I", "E", "S", "M"], base, full, "I", name=name)
+
+
+def moesi(events: Optional[Sequence[EventLabel]] = None, name: str = "MOESI") -> DFSM:
+    """The 5-state MOESI controller (adds an Owned state to MESI).
+
+    ``M --bus_read--> O`` keeps the dirty line shared without a writeback;
+    ``O`` supplies data on further ``bus_read`` s and upgrades back to
+    ``M`` on a ``local_write``.
+    """
+    base = _with_extra_events(CACHE_EVENTS, events)
+    transitions = {
+        "I": {
+            "local_read": "E",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "I",
+            "bus_write": "I",
+        },
+        "E": {
+            "local_read": "E",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+        "S": {
+            "local_read": "S",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "S",
+            "bus_write": "I",
+        },
+        "O": {
+            "local_read": "O",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "O",
+            "bus_write": "I",
+        },
+        "M": {
+            "local_read": "M",
+            "local_write": "M",
+            "evict": "I",
+            "bus_read": "O",
+            "bus_write": "I",
+        },
+    }
+    full = {s: {e: row.get(e, s) for e in base} for s, row in transitions.items()}
+    return DFSM(["I", "E", "S", "O", "M"], base, full, "I", name=name)

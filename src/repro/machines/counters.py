@@ -1,0 +1,234 @@
+"""Counter-style DFSMs: mod-k counters, dividers, bounded and up/down counters.
+
+These are the machines the paper's motivating example uses (Figure 1:
+mod-3 counters of ``0`` and ``1`` events whose fusion is an
+``(n0 + n1) mod 3`` counter) and two of the machines in its results table
+(the "0-Counter", "1-Counter" and "Divider" rows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import InvalidMachineError
+from ..core.types import EventLabel
+
+__all__ = [
+    "mod_counter",
+    "zero_counter",
+    "one_counter",
+    "sum_counter",
+    "difference_counter",
+    "divider",
+    "bounded_counter",
+    "up_down_counter",
+]
+
+
+def mod_counter(
+    modulus: int,
+    count_event: EventLabel,
+    events: Sequence[EventLabel] = (0, 1),
+    name: Optional[str] = None,
+) -> DFSM:
+    """A mod-``modulus`` counter of occurrences of ``count_event``.
+
+    State ``c{i}`` means ``i`` occurrences of ``count_event`` have been
+    seen, modulo ``modulus``.  All other events in ``events`` are ignored
+    (self-loops), which is what lets several counters over different
+    events share one input stream.
+
+    This is machine ``A`` (``count_event=0``) / ``B`` (``count_event=1``)
+    of Figure 1 when ``modulus=3``.
+    """
+    if modulus < 1:
+        raise InvalidMachineError("modulus must be at least 1")
+    events = tuple(events)
+    if count_event not in events:
+        events = events + (count_event,)
+    states = ["c%d" % i for i in range(modulus)]
+    transitions = {
+        states[i]: {
+            event: states[(i + 1) % modulus] if event == count_event else states[i]
+            for event in events
+        }
+        for i in range(modulus)
+    }
+    return DFSM(
+        states,
+        events,
+        transitions,
+        states[0],
+        name=name or ("mod%d-counter[%r]" % (modulus, count_event)),
+    )
+
+
+def zero_counter(modulus: int = 3, events: Sequence[EventLabel] = (0, 1), name: str = "0-counter") -> DFSM:
+    """The paper's "0-Counter": counts event ``0`` modulo ``modulus``."""
+    return mod_counter(modulus, count_event=0, events=events, name=name)
+
+
+def one_counter(modulus: int = 3, events: Sequence[EventLabel] = (0, 1), name: str = "1-counter") -> DFSM:
+    """The paper's "1-Counter": counts event ``1`` modulo ``modulus``."""
+    return mod_counter(modulus, count_event=1, events=events, name=name)
+
+
+def sum_counter(
+    modulus: int,
+    counted_events: Sequence[EventLabel],
+    events: Sequence[EventLabel] = (0, 1),
+    name: Optional[str] = None,
+) -> DFSM:
+    """Counts the total occurrences of all ``counted_events`` modulo ``modulus``.
+
+    With ``counted_events=(0, 1)`` and ``modulus=3`` this is the hand-built
+    fusion ``F1`` of Figure 1: the ``(n0 + n1) mod 3`` counter.
+    """
+    if modulus < 1:
+        raise InvalidMachineError("modulus must be at least 1")
+    events = tuple(events)
+    for event in counted_events:
+        if event not in events:
+            events = events + (event,)
+    counted = frozenset(counted_events)
+    states = ["s%d" % i for i in range(modulus)]
+    transitions = {
+        states[i]: {
+            event: states[(i + 1) % modulus] if event in counted else states[i]
+            for event in events
+        }
+        for i in range(modulus)
+    }
+    return DFSM(
+        states,
+        events,
+        transitions,
+        states[0],
+        name=name or ("mod%d-sum-counter" % modulus),
+    )
+
+
+def difference_counter(
+    modulus: int,
+    plus_event: EventLabel,
+    minus_event: EventLabel,
+    events: Sequence[EventLabel] = (0, 1),
+    name: Optional[str] = None,
+) -> DFSM:
+    """Counts ``(#plus_event - #minus_event) mod modulus``.
+
+    With ``plus_event=0``, ``minus_event=1`` and ``modulus=3`` this is the
+    alternative hand-built fusion ``F2`` of Figure 1: the
+    ``(n0 - n1) mod 3`` counter.
+    """
+    if modulus < 1:
+        raise InvalidMachineError("modulus must be at least 1")
+    events = tuple(events)
+    for event in (plus_event, minus_event):
+        if event not in events:
+            events = events + (event,)
+    states = ["d%d" % i for i in range(modulus)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        index = int(state[1:])
+        if event == plus_event:
+            return states[(index + 1) % modulus]
+        if event == minus_event:
+            return states[(index - 1) % modulus]
+        return state
+
+    return DFSM.from_function(
+        states, events, delta, states[0], name=name or ("mod%d-difference-counter" % modulus)
+    )
+
+
+def divider(
+    divisor: int = 3,
+    tick_event: EventLabel = "tick",
+    events: Sequence[EventLabel] = ("tick",),
+    name: Optional[str] = None,
+) -> DFSM:
+    """A frequency divider: emits one conceptual output every ``divisor`` ticks.
+
+    Structurally a mod-``divisor`` phase counter of ``tick_event``; the
+    state records the current phase of the divided clock.  This is the
+    "Divider" machine of the results table.
+    """
+    if divisor < 1:
+        raise InvalidMachineError("divisor must be at least 1")
+    events = tuple(events)
+    if tick_event not in events:
+        events = events + (tick_event,)
+    states = ["phase%d" % i for i in range(divisor)]
+    transitions = {
+        states[i]: {
+            event: states[(i + 1) % divisor] if event == tick_event else states[i]
+            for event in events
+        }
+        for i in range(divisor)
+    }
+    return DFSM(states, events, transitions, states[0], name=name or ("div-by-%d" % divisor))
+
+
+def bounded_counter(
+    limit: int,
+    up_event: EventLabel = "inc",
+    reset_event: EventLabel = "reset",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A saturating counter: counts ``up_event`` up to ``limit`` then sticks.
+
+    ``reset_event`` returns the counter to zero from any state.  Useful as
+    a realistic sensor-style machine (e.g. "number of threshold crossings
+    this period, saturating at ``limit``").
+    """
+    if limit < 1:
+        raise InvalidMachineError("limit must be at least 1")
+    base_events = tuple(events) if events is not None else (up_event, reset_event)
+    for event in (up_event, reset_event):
+        if event not in base_events:
+            base_events = base_events + (event,)
+    states = ["n%d" % i for i in range(limit + 1)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        index = int(state[1:])
+        if event == up_event:
+            return states[min(index + 1, limit)]
+        if event == reset_event:
+            return states[0]
+        return state
+
+    return DFSM.from_function(
+        states, base_events, delta, states[0], name=name or ("bounded-counter-%d" % limit)
+    )
+
+
+def up_down_counter(
+    modulus: int,
+    up_event: EventLabel = "up",
+    down_event: EventLabel = "down",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A modular up/down counter (increments on ``up_event``, decrements on ``down_event``)."""
+    if modulus < 1:
+        raise InvalidMachineError("modulus must be at least 1")
+    base_events = tuple(events) if events is not None else (up_event, down_event)
+    for event in (up_event, down_event):
+        if event not in base_events:
+            base_events = base_events + (event,)
+    states = ["u%d" % i for i in range(modulus)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        index = int(state[1:])
+        if event == up_event:
+            return states[(index + 1) % modulus]
+        if event == down_event:
+            return states[(index - 1) % modulus]
+        return state
+
+    return DFSM.from_function(
+        states, base_events, delta, states[0], name=name or ("mod%d-updown" % modulus)
+    )

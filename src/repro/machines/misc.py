@@ -1,0 +1,225 @@
+"""Miscellaneous real-world DFSMs: traffic lights, turnstiles, elevators,
+token rings, vending machines, sensor threshold trackers.
+
+These widen the machine library beyond the paper's results table so that
+examples, property tests and scalability benchmarks have a realistic and
+varied pool of machines to draw from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import InvalidMachineError
+from ..core.types import EventLabel
+
+__all__ = [
+    "traffic_light",
+    "turnstile",
+    "vending_machine",
+    "elevator",
+    "token_ring_station",
+    "sensor_threshold",
+    "sliding_mode_controller",
+]
+
+
+def traffic_light(
+    tick_event: EventLabel = "tick",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: str = "traffic-light",
+) -> DFSM:
+    """A three-phase traffic light cycling green -> yellow -> red on each tick."""
+    base = tuple(events) if events is not None else (tick_event,)
+    if tick_event not in base:
+        base = base + (tick_event,)
+    order = ["green", "yellow", "red"]
+    transitions = {
+        state: {
+            event: order[(i + 1) % 3] if event == tick_event else state for event in base
+        }
+        for i, state in enumerate(order)
+    }
+    return DFSM(order, base, transitions, "green", name=name)
+
+
+def turnstile(
+    coin_event: EventLabel = "coin",
+    push_event: EventLabel = "push",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: str = "turnstile",
+) -> DFSM:
+    """The classic coin-operated turnstile (locked / unlocked)."""
+    base = tuple(events) if events is not None else (coin_event, push_event)
+    for event in (coin_event, push_event):
+        if event not in base:
+            base = base + (event,)
+    moves = {
+        "locked": {coin_event: "unlocked"},
+        "unlocked": {push_event: "locked"},
+    }
+    transitions = {
+        state: {event: moves.get(state, {}).get(event, state) for event in base}
+        for state in ("locked", "unlocked")
+    }
+    return DFSM(["locked", "unlocked"], base, transitions, "locked", name=name)
+
+
+def vending_machine(
+    price: int = 3,
+    coin_event: EventLabel = "coin",
+    vend_event: EventLabel = "vend",
+    cancel_event: EventLabel = "cancel",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A vending machine accumulating coins up to ``price`` then vending.
+
+    States track the credit inserted so far (saturating at ``price``);
+    ``vend_event`` dispenses only when fully paid and resets the credit;
+    ``cancel_event`` refunds from any state.
+    """
+    if price < 1:
+        raise InvalidMachineError("price must be at least 1")
+    base = tuple(events) if events is not None else (coin_event, vend_event, cancel_event)
+    for event in (coin_event, vend_event, cancel_event):
+        if event not in base:
+            base = base + (event,)
+    states = ["credit%d" % c for c in range(price + 1)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        credit = int(state[len("credit"):])
+        if event == coin_event:
+            return states[min(credit + 1, price)]
+        if event == vend_event:
+            return states[0] if credit == price else state
+        if event == cancel_event:
+            return states[0]
+        return state
+
+    return DFSM.from_function(
+        states, base, delta, states[0], name=name or ("vending-%d" % price)
+    )
+
+
+def elevator(
+    floors: int = 4,
+    up_event: EventLabel = "up",
+    down_event: EventLabel = "down",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """An elevator cab position tracker over ``floors`` floors (saturating)."""
+    if floors < 2:
+        raise InvalidMachineError("an elevator needs at least 2 floors")
+    base = tuple(events) if events is not None else (up_event, down_event)
+    for event in (up_event, down_event):
+        if event not in base:
+            base = base + (event,)
+    states = ["floor%d" % f for f in range(floors)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        floor = int(state[len("floor"):])
+        if event == up_event:
+            return states[min(floor + 1, floors - 1)]
+        if event == down_event:
+            return states[max(floor - 1, 0)]
+        return state
+
+    return DFSM.from_function(
+        states, base, delta, states[0], name=name or ("elevator-%d" % floors)
+    )
+
+
+def token_ring_station(
+    num_stations: int = 4,
+    pass_event: EventLabel = "pass_token",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """Tracks which station of a ring currently holds the token.
+
+    Every ``pass_event`` moves the token to the next of ``num_stations``
+    stations.  A natural "distributed state" to protect: losing it stalls
+    the whole ring.
+    """
+    if num_stations < 2:
+        raise InvalidMachineError("a token ring needs at least 2 stations")
+    base = tuple(events) if events is not None else (pass_event,)
+    if pass_event not in base:
+        base = base + (pass_event,)
+    states = ["holder%d" % s for s in range(num_stations)]
+    transitions = {
+        states[i]: {
+            event: states[(i + 1) % num_stations] if event == pass_event else states[i]
+            for event in base
+        }
+        for i in range(num_stations)
+    }
+    return DFSM(states, base, transitions, states[0], name=name or ("token-ring-%d" % num_stations))
+
+
+def sensor_threshold(
+    levels: int = 3,
+    rise_event: EventLabel = "rise",
+    fall_event: EventLabel = "fall",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A sensor tracking which of ``levels`` alarm bands a measurement is in.
+
+    ``rise_event`` moves one band up (saturating), ``fall_event`` one band
+    down.  Models the environmental sensors of the paper's motivating
+    scenario at the state-machine level.
+    """
+    if levels < 2:
+        raise InvalidMachineError("at least two levels are required")
+    base = tuple(events) if events is not None else (rise_event, fall_event)
+    for event in (rise_event, fall_event):
+        if event not in base:
+            base = base + (event,)
+    states = ["band%d" % b for b in range(levels)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        band = int(state[len("band"):])
+        if event == rise_event:
+            return states[min(band + 1, levels - 1)]
+        if event == fall_event:
+            return states[max(band - 1, 0)]
+        return state
+
+    return DFSM.from_function(
+        states, base, delta, states[0], name=name or ("sensor-%d" % levels)
+    )
+
+
+def sliding_mode_controller(
+    modes: Sequence[str] = ("idle", "tracking", "holding"),
+    advance_event: EventLabel = "engage",
+    reset_event: EventLabel = "disengage",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: str = "mode-controller",
+) -> DFSM:
+    """A simple controller cycling forward through operating modes.
+
+    ``advance_event`` moves to the next mode (saturating at the last);
+    ``reset_event`` returns to the first.
+    """
+    modes = tuple(modes)
+    if len(modes) < 2:
+        raise InvalidMachineError("at least two modes are required")
+    base = tuple(events) if events is not None else (advance_event, reset_event)
+    for event in (advance_event, reset_event):
+        if event not in base:
+            base = base + (event,)
+
+    def delta(state: str, event: EventLabel) -> str:
+        index = modes.index(state)
+        if event == advance_event:
+            return modes[min(index + 1, len(modes) - 1)]
+        if event == reset_event:
+            return modes[0]
+        return state
+
+    return DFSM.from_function(modes, base, delta, modes[0], name=name)

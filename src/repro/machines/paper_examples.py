@@ -1,0 +1,184 @@
+"""The worked examples of the paper, reconstructed exactly.
+
+Figure 1
+--------
+Mod-3 counters ``A`` (counting ``0`` events) and ``B`` (counting ``1``
+events), their 9-state reachable cross product, and the two hand-built
+fusions ``F1 = (n0 + n1) mod 3`` and ``F2 = (n0 - n1) mod 3``.
+
+Figure 2 / 3 / 4 / 5
+--------------------
+The paper gives the sizes and the *closed partitions* of its second
+worked example (machines ``A`` and ``B`` with three states each and a
+four-state reachable cross product) but not the raw transition tables.
+The tables below are reconstructed from every constraint stated in the
+text and are consistent with all of them:
+
+* the reachable cross product has exactly the four states
+  ``(a0,b0), (a1,b1), (a2,b2), (a0,b2)`` (Fig. 2(iii));
+* ``A``'s set representation is ``a0={t0,t3}, a1={t1}, a2={t2}``
+  (Fig. 5), ``B``'s is ``b0={t0}, b1={t1}, b2={t2,t3}``;
+* the closed partition lattice has exactly ten elements arranged as in
+  Fig. 3 — top, the basis ``{A, B, M1, M2}``, the two-block machines
+  ``M3..M6`` and bottom — with
+  ``M1={t0,t2}{t1}{t3}``, ``M2={t0}{t1,t2}{t3}``,
+  ``M3={t0,t2,t3}{t1}``, ``M4={t0,t3}{t1,t2}``,
+  ``M5={t0}{t1,t2,t3}``, ``M6={t0,t1,t2}{t3}``;
+* the lower cover of ``A`` is ``{M3, M4}``;
+* the fault-graph values quoted in Section 3/4 all hold:
+  ``dmin({A,B}) = 1``, ``dmin({A,B,M1}) = 2``,
+  ``dmin({A,B,M1,M2}) = 3``, ``dmin({A,B,M1,M6}) = 2``,
+  ``dmin({A,B,M1,⊤}) = 3``.
+
+The helpers return fresh machine instances so callers can mutate or
+rename them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.dfsm import DFSM
+from ..core.partition import Partition
+from ..core.product import CrossProduct
+from .counters import difference_counter, mod_counter, sum_counter
+
+__all__ = [
+    "fig1_counter_a",
+    "fig1_counter_b",
+    "fig1_fusion_f1",
+    "fig1_fusion_f2",
+    "fig1_machines",
+    "fig2_machine_a",
+    "fig2_machine_b",
+    "fig2_machines",
+    "fig2_cross_product",
+    "fig3_partition_blocks",
+    "fig3_partition",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the mod-3 counter example
+# ----------------------------------------------------------------------
+def fig1_counter_a() -> DFSM:
+    """Machine ``A`` of Figure 1: the ``n0 mod 3`` counter (events 0 and 1)."""
+    return mod_counter(3, count_event=0, events=(0, 1), name="A(n0 mod3)")
+
+
+def fig1_counter_b() -> DFSM:
+    """Machine ``B`` of Figure 1: the ``n1 mod 3`` counter (events 0 and 1)."""
+    return mod_counter(3, count_event=1, events=(0, 1), name="B(n1 mod3)")
+
+
+def fig1_fusion_f1() -> DFSM:
+    """The hand-built fusion ``F1`` of Figure 1: the ``(n0 + n1) mod 3`` counter."""
+    return sum_counter(3, counted_events=(0, 1), events=(0, 1), name="F1(n0+n1 mod3)")
+
+
+def fig1_fusion_f2() -> DFSM:
+    """The hand-built fusion ``F2`` of Figure 1: the ``(n0 - n1) mod 3`` counter."""
+    return difference_counter(3, plus_event=0, minus_event=1, events=(0, 1), name="F2(n0-n1 mod3)")
+
+
+def fig1_machines() -> Tuple[DFSM, DFSM, DFSM, DFSM]:
+    """``(A, B, F1, F2)`` of Figure 1."""
+    return fig1_counter_a(), fig1_counter_b(), fig1_fusion_f1(), fig1_fusion_f2()
+
+
+# ----------------------------------------------------------------------
+# Figure 2: machines A and B with a 4-state reachable cross product
+# ----------------------------------------------------------------------
+def fig2_machine_a() -> DFSM:
+    """Machine ``A`` of Figure 2 (three states ``a0, a1, a2`` over events 0/1)."""
+    return DFSM(
+        ["a0", "a1", "a2"],
+        [0, 1],
+        {
+            "a0": {0: "a1", 1: "a0"},
+            "a1": {0: "a2", 1: "a0"},
+            "a2": {0: "a1", 1: "a0"},
+        },
+        "a0",
+        name="A",
+    )
+
+
+def fig2_machine_b() -> DFSM:
+    """Machine ``B`` of Figure 2 (three states ``b0, b1, b2`` over events 0/1)."""
+    return DFSM(
+        ["b0", "b1", "b2"],
+        [0, 1],
+        {
+            "b0": {0: "b1", 1: "b2"},
+            "b1": {0: "b2", 1: "b2"},
+            "b2": {0: "b1", 1: "b2"},
+        },
+        "b0",
+        name="B",
+    )
+
+
+def fig2_machines() -> Tuple[DFSM, DFSM]:
+    """``(A, B)`` of Figure 2."""
+    return fig2_machine_a(), fig2_machine_b()
+
+
+def fig2_cross_product() -> CrossProduct:
+    """The reachable cross product ``R({A, B})`` of Figure 2(iii).
+
+    Its four states correspond to the paper's ``t0..t3`` as follows (the
+    BFS discovery order differs from the paper's listing, so use
+    :func:`paper_state_names` to translate):
+
+    ========  ==================
+    paper     component tuple
+    ========  ==================
+    ``t0``    ``(a0, b0)``
+    ``t1``    ``(a1, b1)``
+    ``t2``    ``(a2, b2)``
+    ``t3``    ``(a0, b2)``
+    ========  ==================
+    """
+    return CrossProduct(fig2_machines(), name="top")
+
+
+#: Paper name -> component tuple of the Fig. 2 cross product states.
+PAPER_STATE_TUPLES: Dict[str, Tuple[str, str]] = {
+    "t0": ("a0", "b0"),
+    "t1": ("a1", "b1"),
+    "t2": ("a2", "b2"),
+    "t3": ("a0", "b2"),
+}
+
+#: Block structure of every named machine in Figure 3, in paper state names.
+FIG3_BLOCKS: Dict[str, List[List[str]]] = {
+    "top": [["t0"], ["t1"], ["t2"], ["t3"]],
+    "A": [["t0", "t3"], ["t1"], ["t2"]],
+    "B": [["t0"], ["t1"], ["t2", "t3"]],
+    "M1": [["t0", "t2"], ["t1"], ["t3"]],
+    "M2": [["t0"], ["t1", "t2"], ["t3"]],
+    "M3": [["t0", "t2", "t3"], ["t1"]],
+    "M4": [["t0", "t3"], ["t1", "t2"]],
+    "M5": [["t0"], ["t1", "t2", "t3"]],
+    "M6": [["t0", "t1", "t2"], ["t3"]],
+    "bottom": [["t0", "t1", "t2", "t3"]],
+}
+
+
+def fig3_partition_blocks(machine_name: str) -> List[List[Tuple[str, str]]]:
+    """Blocks of the named Fig. 3 machine, given as cross-product state tuples."""
+    blocks = FIG3_BLOCKS[machine_name]
+    return [[PAPER_STATE_TUPLES[t] for t in block] for block in blocks]
+
+
+def fig3_partition(machine_name: str, product: CrossProduct | None = None) -> Partition:
+    """The named Fig. 3 machine as a :class:`Partition` of the cross product."""
+    if product is None:
+        product = fig2_cross_product()
+    top = product.machine
+    index_blocks = [
+        [top.state_index(state) for state in block]
+        for block in fig3_partition_blocks(machine_name)
+    ]
+    return Partition.from_blocks(index_blocks, top.num_states)

@@ -1,0 +1,190 @@
+"""Shift registers, pattern generators and pattern detectors.
+
+The results table uses a "Shift Register" (8 states — a 3-bit register
+over a binary input) and a "Pattern Generator" (4 states).  Pattern
+*detectors* (sliding-window matchers) are included as well because they
+are the classic textbook DFSM workload and make good fusion candidates.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Optional, Sequence, Tuple
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import InvalidMachineError
+from ..core.types import EventLabel
+
+__all__ = [
+    "shift_register",
+    "pattern_generator",
+    "pattern_detector",
+    "sliding_window_register",
+]
+
+
+def shift_register(
+    width: int = 3,
+    bit_events: Tuple[EventLabel, EventLabel] = (0, 1),
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A ``width``-bit shift register over a binary input stream.
+
+    The state is the last ``width`` bits seen (most recent bit last);
+    event ``bit_events[b]`` shifts bit ``b`` in.  The machine has
+    ``2 ** width`` states — 8 for the default 3-bit register, matching the
+    results table.  Events outside ``bit_events`` are ignored.
+    """
+    if width < 1:
+        raise InvalidMachineError("shift register width must be at least 1")
+    zero, one = bit_events
+    base_events = tuple(events) if events is not None else (zero, one)
+    for event in bit_events:
+        if event not in base_events:
+            base_events = base_events + (event,)
+    states = ["".join(bits) for bits in iter_product("01", repeat=width)]
+
+    def delta(state: str, event: EventLabel) -> str:
+        if event == zero:
+            return state[1:] + "0"
+        if event == one:
+            return state[1:] + "1"
+        return state
+
+    return DFSM.from_function(
+        states, base_events, delta, "0" * width, name=name or ("shift-register-%d" % width)
+    )
+
+
+def sliding_window_register(
+    window: int,
+    alphabet: Sequence[EventLabel],
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """Generalised shift register remembering the last ``window`` events.
+
+    States are tuples of the last ``window`` symbols (``None`` marks
+    not-yet-filled slots), so the machine has ``(|alphabet|+1)**window``
+    states at most, pruned to the reachable ones.
+    """
+    if window < 1:
+        raise InvalidMachineError("window must be at least 1")
+    alphabet = tuple(alphabet)
+    base_events = tuple(events) if events is not None else alphabet
+    for event in alphabet:
+        if event not in base_events:
+            base_events = base_events + (event,)
+    symbols: Tuple[Optional[EventLabel], ...] = (None,) + alphabet
+    states = [combo for combo in iter_product(symbols, repeat=window)]
+
+    def delta(state, event):
+        if event in alphabet:
+            return tuple(state[1:]) + (event,)
+        return state
+
+    machine = DFSM.from_function(
+        states, base_events, delta, (None,) * window, name=name or ("window-%d" % window)
+    )
+    return machine.restricted_to_reachable()
+
+
+def pattern_generator(
+    pattern_length: int = 4,
+    step_event: EventLabel = "step",
+    events: Optional[Sequence[EventLabel]] = None,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A cyclic pattern generator stepping through ``pattern_length`` phases.
+
+    Each ``step_event`` advances the generator to the next position of its
+    output pattern and it wraps around after ``pattern_length`` steps;
+    other events are ignored.  This is the 4-state "Pattern Generator" of
+    the results table (the emitted values are irrelevant to fault
+    tolerance — only the phase, i.e. the execution state, matters).
+    """
+    if pattern_length < 1:
+        raise InvalidMachineError("pattern_length must be at least 1")
+    base_events = tuple(events) if events is not None else (step_event,)
+    if step_event not in base_events:
+        base_events = base_events + (step_event,)
+    states = ["p%d" % i for i in range(pattern_length)]
+    transitions = {
+        states[i]: {
+            event: states[(i + 1) % pattern_length] if event == step_event else states[i]
+            for event in base_events
+        }
+        for i in range(pattern_length)
+    }
+    return DFSM(
+        states,
+        base_events,
+        transitions,
+        states[0],
+        name=name or ("pattern-generator-%d" % pattern_length),
+    )
+
+
+def pattern_detector(
+    pattern: Sequence[EventLabel],
+    alphabet: Sequence[EventLabel],
+    events: Optional[Sequence[EventLabel]] = None,
+    overlapping: bool = True,
+    name: Optional[str] = None,
+) -> DFSM:
+    """A Knuth–Morris–Pratt style detector for ``pattern`` over ``alphabet``.
+
+    The state is the length of the longest prefix of ``pattern`` matching
+    a suffix of the input seen so far; reaching ``len(pattern)`` means the
+    pattern has just been observed.  With ``overlapping=True`` (default)
+    detection restarts at the longest proper border of the pattern, so
+    overlapping occurrences are counted; otherwise it restarts at zero.
+    Events outside ``alphabet`` are ignored.
+    """
+    pattern = tuple(pattern)
+    if not pattern:
+        raise InvalidMachineError("pattern must be non-empty")
+    alphabet = tuple(alphabet)
+    for symbol in pattern:
+        if symbol not in alphabet:
+            raise InvalidMachineError("pattern symbol %r not in alphabet" % (symbol,))
+    base_events = tuple(events) if events is not None else alphabet
+    for event in alphabet:
+        if event not in base_events:
+            base_events = base_events + (event,)
+
+    # Classic KMP failure function.
+    failure = [0] * len(pattern)
+    k = 0
+    for i in range(1, len(pattern)):
+        while k > 0 and pattern[i] != pattern[k]:
+            k = failure[k - 1]
+        if pattern[i] == pattern[k]:
+            k += 1
+        failure[i] = k
+
+    def advance(matched: int, symbol: EventLabel) -> int:
+        while matched > 0 and (matched == len(pattern) or pattern[matched] != symbol):
+            if matched == len(pattern):
+                matched = failure[matched - 1] if overlapping else 0
+            else:
+                matched = failure[matched - 1]
+        if matched < len(pattern) and pattern[matched] == symbol:
+            matched += 1
+        return matched
+
+    states = list(range(len(pattern) + 1))
+
+    def delta(state: int, event: EventLabel) -> int:
+        if event not in alphabet:
+            return state
+        return advance(state, event)
+
+    return DFSM.from_function(
+        states,
+        base_events,
+        delta,
+        0,
+        name=name or ("detector[%s]" % "".join(str(s) for s in pattern)),
+    )

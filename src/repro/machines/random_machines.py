@@ -1,0 +1,146 @@
+"""Random DFSM generation for property-based tests and scalability studies.
+
+Algorithm 2's behaviour depends strongly on how much structure the input
+machines share, so the generators here produce three families:
+
+* :func:`random_dfsm` — a uniformly random transition table (then pruned
+  to its reachable part), the adversarial case for fusion;
+* :func:`random_connected_dfsm` — a random machine guaranteed to keep the
+  requested number of states (a random spanning structure is laid down
+  first), useful when exact sizes matter;
+* :func:`random_counter_family` — a family of modular counters over a
+  shared alphabet, the friendly case where small fusions exist (this is
+  the 100-sensor scenario of the paper's introduction scaled arbitrarily).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import InvalidMachineError
+from ..core.types import EventLabel
+from .counters import mod_counter
+
+__all__ = [
+    "random_dfsm",
+    "random_connected_dfsm",
+    "random_counter_family",
+    "random_machine_family",
+]
+
+
+def _as_rng(rng: Optional[np.random.Generator | int]) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_dfsm(
+    num_states: int,
+    events: Sequence[EventLabel],
+    rng: Optional[np.random.Generator | int] = None,
+    name: str = "random",
+) -> DFSM:
+    """A DFSM with a uniformly random transition table, pruned to reachability.
+
+    The returned machine may have fewer than ``num_states`` states because
+    unreachable ones are removed (the paper's model requires all states
+    reachable).  Use :func:`random_connected_dfsm` when the exact size
+    matters.
+    """
+    if num_states < 1:
+        raise InvalidMachineError("num_states must be at least 1")
+    events = tuple(events)
+    generator = _as_rng(rng)
+    table = generator.integers(0, num_states, size=(num_states, max(len(events), 1)))
+    machine = DFSM.from_table(table[:, : len(events)], 0, events=events, name=name)
+    return machine.restricted_to_reachable()
+
+
+def random_connected_dfsm(
+    num_states: int,
+    events: Sequence[EventLabel],
+    rng: Optional[np.random.Generator | int] = None,
+    name: str = "random-connected",
+) -> DFSM:
+    """A random DFSM in which every one of ``num_states`` states is reachable.
+
+    A random reachability chain is embedded first (state ``i`` is reached
+    from some state ``j < i`` under a random event), then the remaining
+    table entries are filled uniformly at random.
+    """
+    if num_states < 1:
+        raise InvalidMachineError("num_states must be at least 1")
+    events = tuple(events)
+    if not events:
+        raise InvalidMachineError("at least one event is required")
+    generator = _as_rng(rng)
+    table = generator.integers(0, num_states, size=(num_states, len(events)))
+    # Lay down one incoming "discovery" edge per state from an earlier state,
+    # reserving each (source, event) slot so later edges cannot overwrite it.
+    reserved: set = set()
+    for state in range(1, num_states):
+        free = [
+            (source, event)
+            for source in range(state)
+            for event in range(len(events))
+            if (source, event) not in reserved
+        ]
+        source, event = free[int(generator.integers(0, len(free)))]
+        reserved.add((source, event))
+        table[source, event] = state
+    machine = DFSM.from_table(table, 0, events=events, name=name)
+    # The reserved discovery edges guarantee reachability of every state.
+    assert machine.is_fully_reachable()
+    return machine
+
+
+def random_counter_family(
+    count: int,
+    modulus: int = 3,
+    num_events: int = 4,
+    rng: Optional[np.random.Generator | int] = None,
+    name_prefix: str = "sensor",
+) -> List[DFSM]:
+    """``count`` modular counters, each watching a random event of a shared alphabet.
+
+    This is the structure of the paper's sensor-network scenario: many
+    small machines observing a common event stream, ideal ground for
+    fusion (a single shared-alphabet counter can often back up the lot).
+    """
+    if count < 1:
+        raise InvalidMachineError("count must be at least 1")
+    generator = _as_rng(rng)
+    events = tuple(range(num_events))
+    machines = []
+    for index in range(count):
+        watched = int(generator.integers(0, num_events))
+        machines.append(
+            mod_counter(
+                modulus,
+                count_event=watched,
+                events=events,
+                name="%s-%d[e%d]" % (name_prefix, index, watched),
+            )
+        )
+    return machines
+
+
+def random_machine_family(
+    count: int,
+    num_states: int,
+    events: Sequence[EventLabel],
+    rng: Optional[np.random.Generator | int] = None,
+    connected: bool = True,
+    name_prefix: str = "rand",
+) -> List[DFSM]:
+    """A family of ``count`` independent random machines over a shared alphabet."""
+    generator = _as_rng(rng)
+    maker = random_connected_dfsm if connected else random_dfsm
+    return [
+        maker(num_states, events, rng=generator, name="%s-%d" % (name_prefix, index))
+        for index in range(count)
+    ]

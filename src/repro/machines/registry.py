@@ -1,0 +1,93 @@
+"""A registry of every machine factory in :mod:`repro.machines`.
+
+The registry lets benchmarks, examples and serialisation refer to
+machines by name (``get_machine("mesi")``) and enumerate the whole
+library (``available_machines()``), and it is the hook through which
+user code can register additional machines without modifying the
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import InvalidMachineError
+from . import cache, counters, misc, paper_examples, parity, patterns, tcp
+
+__all__ = ["register_machine", "get_machine", "available_machines", "MACHINE_REGISTRY"]
+
+MachineFactory = Callable[..., DFSM]
+
+#: Name -> zero-config factory for every built-in machine.
+MACHINE_REGISTRY: Dict[str, MachineFactory] = {
+    # counters
+    "mod3_counter_0": counters.zero_counter,
+    "mod3_counter_1": counters.one_counter,
+    "divider": counters.divider,
+    "bounded_counter": lambda **kw: counters.bounded_counter(3, **kw),
+    "up_down_counter": lambda **kw: counters.up_down_counter(3, **kw),
+    # parity / toggles
+    "even_parity": parity.even_parity_checker,
+    "odd_parity": parity.odd_parity_checker,
+    "toggle_switch": parity.toggle_switch,
+    # patterns
+    "shift_register": patterns.shift_register,
+    "pattern_generator": patterns.pattern_generator,
+    "pattern_detector_0110": lambda **kw: patterns.pattern_detector((0, 1, 1, 0), (0, 1), **kw),
+    # cache coherence
+    "msi": cache.msi,
+    "mesi": cache.mesi,
+    "moesi": cache.moesi,
+    # tcp
+    "tcp": tcp.tcp,
+    "tcp_simplified": tcp.tcp_simplified,
+    # misc
+    "traffic_light": misc.traffic_light,
+    "turnstile": misc.turnstile,
+    "vending_machine": misc.vending_machine,
+    "elevator": misc.elevator,
+    "token_ring": misc.token_ring_station,
+    "sensor_threshold": misc.sensor_threshold,
+    "mode_controller": misc.sliding_mode_controller,
+    # paper worked examples
+    "fig1_counter_a": paper_examples.fig1_counter_a,
+    "fig1_counter_b": paper_examples.fig1_counter_b,
+    "fig1_fusion_f1": paper_examples.fig1_fusion_f1,
+    "fig1_fusion_f2": paper_examples.fig1_fusion_f2,
+    "fig2_machine_a": paper_examples.fig2_machine_a,
+    "fig2_machine_b": paper_examples.fig2_machine_b,
+}
+
+
+def register_machine(name: str, factory: MachineFactory, overwrite: bool = False) -> None:
+    """Register a user-defined machine factory under ``name``.
+
+    Raises :class:`InvalidMachineError` if the name is already taken and
+    ``overwrite`` is false.
+    """
+    if not overwrite and name in MACHINE_REGISTRY:
+        raise InvalidMachineError("machine name %r is already registered" % name)
+    MACHINE_REGISTRY[name] = factory
+
+
+def get_machine(machine_name: str, **kwargs) -> DFSM:
+    """Instantiate a registered machine by its registry name.
+
+    Keyword arguments are forwarded to the factory, so callers can adapt
+    alphabets (``get_machine("mesi", events=shared_alphabet)``) or rename
+    the instance (``get_machine("mesi", name="L1-cache")``).
+    """
+    try:
+        factory = MACHINE_REGISTRY[machine_name]
+    except KeyError:
+        raise InvalidMachineError(
+            "unknown machine %r; available: %s"
+            % (machine_name, ", ".join(sorted(MACHINE_REGISTRY)))
+        ) from None
+    return factory(**kwargs)
+
+
+def available_machines() -> List[str]:
+    """Sorted names of every registered machine."""
+    return sorted(MACHINE_REGISTRY)

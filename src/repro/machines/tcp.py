@@ -1,0 +1,140 @@
+"""The TCP connection state machine (RFC 793) as a DFSM.
+
+The paper's results table uses "TCP" as one of its real-world machines;
+the replication column implies an 11-state model, which matches the
+classical RFC 793 connection diagram:
+
+    CLOSED, LISTEN, SYN_SENT, SYN_RECEIVED, ESTABLISHED,
+    FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, CLOSING, LAST_ACK, TIME_WAIT
+
+Events are the user calls and segment arrivals that drive the diagram
+(``passive_open``, ``active_open``, ``close``, ``send``, ``recv_syn``,
+``recv_syn_ack``, ``recv_ack``, ``recv_fin``, ``timeout``, ``rst``).
+Arrivals that the diagram leaves unspecified for a state keep the machine
+in that state — the execution-state recovery problem only needs the
+transitions that *do* change state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.dfsm import DFSM
+from ..core.types import EventLabel
+
+__all__ = ["TCP_EVENTS", "TCP_STATES", "tcp", "tcp_simplified"]
+
+#: Event alphabet of the TCP connection machine.
+TCP_EVENTS = (
+    "passive_open",
+    "active_open",
+    "send",
+    "close",
+    "recv_syn",
+    "recv_syn_ack",
+    "recv_ack",
+    "recv_fin",
+    "timeout",
+    "rst",
+)
+
+#: The 11 RFC 793 connection states.
+TCP_STATES = (
+    "CLOSED",
+    "LISTEN",
+    "SYN_SENT",
+    "SYN_RECEIVED",
+    "ESTABLISHED",
+    "FIN_WAIT_1",
+    "FIN_WAIT_2",
+    "CLOSE_WAIT",
+    "CLOSING",
+    "LAST_ACK",
+    "TIME_WAIT",
+)
+
+
+def tcp(events: Optional[Sequence[EventLabel]] = None, name: str = "TCP") -> DFSM:
+    """The full 11-state TCP connection DFSM.
+
+    The transition structure follows the RFC 793 diagram:
+
+    * ``CLOSED --passive_open--> LISTEN``, ``CLOSED --active_open--> SYN_SENT``;
+    * ``LISTEN --recv_syn--> SYN_RECEIVED``, ``LISTEN --send--> SYN_SENT``,
+      ``LISTEN --close--> CLOSED``;
+    * ``SYN_SENT --recv_syn_ack--> ESTABLISHED``,
+      ``SYN_SENT --recv_syn--> SYN_RECEIVED``,
+      ``SYN_SENT --close--> CLOSED``, ``SYN_SENT --timeout--> CLOSED``;
+    * ``SYN_RECEIVED --recv_ack--> ESTABLISHED``,
+      ``SYN_RECEIVED --close--> FIN_WAIT_1``,
+      ``SYN_RECEIVED --rst--> LISTEN``;
+    * ``ESTABLISHED --close--> FIN_WAIT_1``,
+      ``ESTABLISHED --recv_fin--> CLOSE_WAIT``;
+    * ``FIN_WAIT_1 --recv_ack--> FIN_WAIT_2``,
+      ``FIN_WAIT_1 --recv_fin--> CLOSING``;
+    * ``FIN_WAIT_2 --recv_fin--> TIME_WAIT``;
+    * ``CLOSE_WAIT --close--> LAST_ACK``;
+    * ``CLOSING --recv_ack--> TIME_WAIT``;
+    * ``LAST_ACK --recv_ack--> CLOSED``;
+    * ``TIME_WAIT --timeout--> CLOSED``;
+    * ``rst`` aborts to ``CLOSED`` from every synchronised state.
+    """
+    base = tuple(events) if events is not None else TCP_EVENTS
+    for event in TCP_EVENTS:
+        if event not in base:
+            base = base + (event,)
+
+    moves = {
+        "CLOSED": {"passive_open": "LISTEN", "active_open": "SYN_SENT"},
+        "LISTEN": {"recv_syn": "SYN_RECEIVED", "send": "SYN_SENT", "close": "CLOSED"},
+        "SYN_SENT": {
+            "recv_syn_ack": "ESTABLISHED",
+            "recv_syn": "SYN_RECEIVED",
+            "close": "CLOSED",
+            "timeout": "CLOSED",
+            "rst": "CLOSED",
+        },
+        "SYN_RECEIVED": {
+            "recv_ack": "ESTABLISHED",
+            "close": "FIN_WAIT_1",
+            "rst": "LISTEN",
+        },
+        "ESTABLISHED": {"close": "FIN_WAIT_1", "recv_fin": "CLOSE_WAIT", "rst": "CLOSED"},
+        "FIN_WAIT_1": {"recv_ack": "FIN_WAIT_2", "recv_fin": "CLOSING", "rst": "CLOSED"},
+        "FIN_WAIT_2": {"recv_fin": "TIME_WAIT", "rst": "CLOSED"},
+        "CLOSE_WAIT": {"close": "LAST_ACK", "rst": "CLOSED"},
+        "CLOSING": {"recv_ack": "TIME_WAIT", "rst": "CLOSED"},
+        "LAST_ACK": {"recv_ack": "CLOSED", "rst": "CLOSED"},
+        "TIME_WAIT": {"timeout": "CLOSED", "rst": "CLOSED"},
+    }
+    transitions = {
+        state: {event: moves.get(state, {}).get(event, state) for event in base}
+        for state in TCP_STATES
+    }
+    return DFSM(TCP_STATES, base, transitions, "CLOSED", name=name)
+
+
+def tcp_simplified(events: Optional[Sequence[EventLabel]] = None, name: str = "TCP-lite") -> DFSM:
+    """A 5-state abstraction of the TCP machine (handshake + teardown collapsed).
+
+    Useful when the full 11-state model makes the cross product too large
+    for an experiment: CLOSED, HANDSHAKE, ESTABLISHED, TEARDOWN, TIME_WAIT.
+    """
+    simple_events = ("active_open", "passive_open", "recv_ack", "close", "recv_fin", "timeout", "rst")
+    base = tuple(events) if events is not None else simple_events
+    for event in simple_events:
+        if event not in base:
+            base = base + (event,)
+    moves = {
+        "CLOSED": {"active_open": "HANDSHAKE", "passive_open": "HANDSHAKE"},
+        "HANDSHAKE": {"recv_ack": "ESTABLISHED", "rst": "CLOSED", "timeout": "CLOSED"},
+        "ESTABLISHED": {"close": "TEARDOWN", "recv_fin": "TEARDOWN", "rst": "CLOSED"},
+        "TEARDOWN": {"recv_ack": "TIME_WAIT", "rst": "CLOSED"},
+        "TIME_WAIT": {"timeout": "CLOSED", "rst": "CLOSED"},
+    }
+    states = ("CLOSED", "HANDSHAKE", "ESTABLISHED", "TEARDOWN", "TIME_WAIT")
+    transitions = {
+        state: {event: moves.get(state, {}).get(event, state) for event in base}
+        for state in states
+    }
+    return DFSM(states, base, transitions, "CLOSED", name=name)

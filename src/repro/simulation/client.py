@@ -1,0 +1,106 @@
+"""Clients: the environment that issues the globally ordered event stream.
+
+In the paper's model one or more clients send ordered requests that every
+server applies; when a fault occurs, clients stop sending until recovery
+completes.  :class:`Client` models one request source;
+:class:`Environment` merges several clients into the single total order
+the servers consume and enforces the stop-during-recovery rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..core.exceptions import SimulationError
+from ..core.types import EventLabel
+from .events import merge_workloads
+
+__all__ = ["Client", "Environment"]
+
+
+class Client:
+    """A single request source with its own ordered workload."""
+
+    def __init__(self, name: str, workload: Sequence[EventLabel]) -> None:
+        self.name = name
+        self._workload: List[EventLabel] = list(workload)
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of requests this client has not yet issued."""
+        return len(self._workload) - self._cursor
+
+    def next_event(self) -> EventLabel:
+        """Issue the next request."""
+        if self._cursor >= len(self._workload):
+            raise SimulationError("client %r has no more requests" % self.name)
+        event = self._workload[self._cursor]
+        self._cursor += 1
+        return event
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._workload)
+
+
+class Environment:
+    """Merges client workloads into one total order and gates it on system health.
+
+    Parameters
+    ----------
+    clients:
+        The request sources.
+    seed:
+        Seed for the interleaving of client workloads.
+    """
+
+    def __init__(self, clients: Sequence[Client], seed: Optional[int] = None) -> None:
+        if not clients:
+            raise SimulationError("an environment needs at least one client")
+        self._clients = tuple(clients)
+        self._order: List[EventLabel] = merge_workloads(
+            [list(c._workload) for c in self._clients], seed=seed
+        )
+        self._cursor = 0
+        self._paused = False
+
+    @property
+    def total_order(self) -> List[EventLabel]:
+        """The full merged event order."""
+        return list(self._order)
+
+    @property
+    def paused(self) -> bool:
+        """True while the environment is holding back requests during recovery."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop issuing requests (a fault was detected)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume issuing requests (recovery finished)."""
+        self._paused = False
+
+    def pending(self) -> int:
+        """Number of requests not yet delivered."""
+        return len(self._order) - self._cursor
+
+    def next_event(self) -> EventLabel:
+        """Deliver the next request of the total order.
+
+        Raises :class:`SimulationError` when paused or exhausted — the
+        simulator must resume the environment after recovery before
+        asking for more events.
+        """
+        if self._paused:
+            raise SimulationError("environment is paused for recovery")
+        if self._cursor >= len(self._order):
+            raise SimulationError("environment has no more requests")
+        event = self._order[self._cursor]
+        self._cursor += 1
+        return event
+
+    def __iter__(self) -> Iterator[EventLabel]:
+        while self._cursor < len(self._order) and not self._paused:
+            yield self.next_event()

@@ -1,0 +1,149 @@
+"""Event workloads for the distributed-system simulator.
+
+The paper's system model has the *environment* (one or more clients)
+sending a globally ordered stream of events that every server applies.
+This module generates those streams:
+
+* :class:`WorkloadGenerator` — seeded random workloads over an alphabet,
+  with uniform, weighted and bursty modes;
+* :func:`round_robin_workload` / :func:`protocol_workload` — deterministic
+  streams useful in tests and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..core.types import EventLabel
+
+__all__ = [
+    "WorkloadGenerator",
+    "round_robin_workload",
+    "protocol_workload",
+    "merge_workloads",
+]
+
+
+class WorkloadGenerator:
+    """Seeded generator of event sequences over a fixed alphabet.
+
+    Parameters
+    ----------
+    alphabet:
+        The events the environment may emit.
+    seed:
+        Seed (or ``numpy`` Generator) for reproducibility; simulator runs
+        and benchmarks always pass an explicit seed.
+    weights:
+        Optional per-event emission probabilities (normalised
+        automatically).  Defaults to uniform.
+    """
+
+    def __init__(
+        self,
+        alphabet: Sequence[EventLabel],
+        seed: Optional[int | np.random.Generator] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._alphabet: Tuple[EventLabel, ...] = tuple(alphabet)
+        if not self._alphabet:
+            raise SimulationError("workload alphabet must be non-empty")
+        self._rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        if weights is None:
+            self._weights = np.full(len(self._alphabet), 1.0 / len(self._alphabet))
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (len(self._alphabet),) or (w < 0).any() or w.sum() == 0:
+                raise SimulationError("weights must be non-negative, one per event, not all zero")
+            self._weights = w / w.sum()
+
+    @property
+    def alphabet(self) -> Tuple[EventLabel, ...]:
+        return self._alphabet
+
+    def uniform(self, length: int) -> List[EventLabel]:
+        """A sequence of ``length`` events drawn according to the weights."""
+        if length < 0:
+            raise SimulationError("length must be non-negative")
+        indices = self._rng.choice(len(self._alphabet), size=length, p=self._weights)
+        return [self._alphabet[int(i)] for i in indices]
+
+    def bursty(self, length: int, burst_length: int = 8) -> List[EventLabel]:
+        """A sequence emitted in bursts: each burst repeats a single event.
+
+        Models sensors that observe the same phenomenon repeatedly before
+        the environment changes.
+        """
+        if burst_length < 1:
+            raise SimulationError("burst_length must be at least 1")
+        out: List[EventLabel] = []
+        while len(out) < length:
+            event = self._alphabet[int(self._rng.choice(len(self._alphabet), p=self._weights))]
+            run = int(self._rng.integers(1, burst_length + 1))
+            out.extend([event] * run)
+        return out[:length]
+
+    def markov(
+        self, length: int, stickiness: float = 0.7
+    ) -> List[EventLabel]:
+        """A Markov-modulated sequence: with probability ``stickiness`` repeat the previous event."""
+        if not 0.0 <= stickiness <= 1.0:
+            raise SimulationError("stickiness must be in [0, 1]")
+        out: List[EventLabel] = []
+        current = self._alphabet[int(self._rng.choice(len(self._alphabet), p=self._weights))]
+        for _ in range(length):
+            out.append(current)
+            if self._rng.random() >= stickiness:
+                current = self._alphabet[int(self._rng.choice(len(self._alphabet), p=self._weights))]
+        return out
+
+    def stream(self) -> Iterator[EventLabel]:
+        """An endless event stream (use with ``itertools.islice``)."""
+        while True:
+            yield self._alphabet[int(self._rng.choice(len(self._alphabet), p=self._weights))]
+
+
+def round_robin_workload(alphabet: Sequence[EventLabel], length: int) -> List[EventLabel]:
+    """Deterministic workload cycling through the alphabet in order."""
+    alphabet = tuple(alphabet)
+    if not alphabet:
+        raise SimulationError("alphabet must be non-empty")
+    return [alphabet[i % len(alphabet)] for i in range(length)]
+
+
+def protocol_workload(phases: Sequence[Tuple[EventLabel, int]]) -> List[EventLabel]:
+    """Build a workload from (event, repeat-count) phases.
+
+    Example: ``protocol_workload([("active_open", 1), ("recv_syn_ack", 1), ("send", 5)])``.
+    """
+    out: List[EventLabel] = []
+    for event, count in phases:
+        if count < 0:
+            raise SimulationError("phase repeat count must be non-negative")
+        out.extend([event] * count)
+    return out
+
+
+def merge_workloads(
+    workloads: Sequence[Sequence[EventLabel]],
+    seed: Optional[int] = None,
+) -> List[EventLabel]:
+    """Interleave several per-client workloads into one global order.
+
+    The environment in the paper's model imposes a single total order on
+    all client requests; this helper produces one such order by a seeded
+    random interleaving that preserves each client's own sequence.
+    """
+    rng = np.random.default_rng(seed)
+    queues: List[List[EventLabel]] = [list(w) for w in workloads if w]
+    merged: List[EventLabel] = []
+    while queues:
+        index = int(rng.integers(0, len(queues)))
+        merged.append(queues[index].pop(0))
+        if not queues[index]:
+            queues.pop(index)
+    return merged

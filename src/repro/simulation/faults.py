@@ -1,0 +1,163 @@
+"""Fault plans and fault injection.
+
+A :class:`FaultPlan` is a declarative description of which servers fail,
+how (crash or Byzantine) and after which event of the global stream.
+:class:`FaultInjector` builds plans — either explicitly or randomly under
+the system's fault budget — and applies them during a simulation run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import SimulationError
+from ..core.types import StateLabel
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    """The two fault classes of the paper's system model."""
+
+    CRASH = "crash"
+    BYZANTINE = "byzantine"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    server:
+        Name of the server to fail.
+    kind:
+        Crash or Byzantine.
+    after_event:
+        Index into the global event stream after which the fault strikes
+        (0 = before any event is applied).
+    corrupt_to:
+        For Byzantine faults, an optional explicit wrong state; a random
+        wrong state is chosen when omitted.
+    """
+
+    server: str
+    kind: FaultKind
+    after_event: int
+    corrupt_to: Optional[StateLabel] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable collection of scheduled faults."""
+
+    events: Tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        servers = [e.server for e in self.events]
+        if len(set(servers)) != len(servers):
+            raise SimulationError("a fault plan may fail each server at most once")
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for e in self.events if e.kind is FaultKind.CRASH)
+
+    @property
+    def byzantine_count(self) -> int:
+        return sum(1 for e in self.events if e.kind is FaultKind.BYZANTINE)
+
+    @property
+    def servers(self) -> Tuple[str, ...]:
+        return tuple(e.server for e in self.events)
+
+    def faults_after(self, event_index: int) -> List[FaultEvent]:
+        """Faults scheduled to strike right after ``event_index`` events."""
+        return [e for e in self.events if e.after_event == event_index]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class FaultInjector:
+    """Builds and validates fault plans for a simulation run.
+
+    Parameters
+    ----------
+    server_names:
+        Names of all servers in the system (originals and backups).
+    seed:
+        Seed for random plan generation and random corruption targets.
+    """
+
+    def __init__(self, server_names: Sequence[str], seed: Optional[int] = None) -> None:
+        self._servers = tuple(server_names)
+        if len(set(self._servers)) != len(self._servers):
+            raise SimulationError("server names must be unique")
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The injector's random generator (shared with corruption picking)."""
+        return self._rng
+
+    # ------------------------------------------------------------------
+    def explicit_plan(self, faults: Iterable[FaultEvent]) -> FaultPlan:
+        """Validate an explicitly constructed plan against the server list."""
+        events = tuple(faults)
+        unknown = [e.server for e in events if e.server not in self._servers]
+        if unknown:
+            raise SimulationError("fault plan names unknown servers: %r" % unknown)
+        return FaultPlan(events)
+
+    def crash_plan(
+        self, servers: Sequence[str], after_event: int
+    ) -> FaultPlan:
+        """Crash the named servers after ``after_event`` events."""
+        return self.explicit_plan(
+            FaultEvent(server=name, kind=FaultKind.CRASH, after_event=after_event)
+            for name in servers
+        )
+
+    def byzantine_plan(
+        self, servers: Sequence[str], after_event: int
+    ) -> FaultPlan:
+        """Byzantine-corrupt the named servers after ``after_event`` events."""
+        return self.explicit_plan(
+            FaultEvent(server=name, kind=FaultKind.BYZANTINE, after_event=after_event)
+            for name in servers
+        )
+
+    def random_plan(
+        self,
+        num_crash: int,
+        num_byzantine: int,
+        workload_length: int,
+        eligible: Optional[Sequence[str]] = None,
+    ) -> FaultPlan:
+        """A random plan with the requested numbers of crash/Byzantine faults.
+
+        Fault times are drawn uniformly over the workload; distinct
+        servers are chosen for every fault.
+        """
+        pool = list(eligible) if eligible is not None else list(self._servers)
+        total = num_crash + num_byzantine
+        if total > len(pool):
+            raise SimulationError(
+                "cannot schedule %d faults over %d eligible servers" % (total, len(pool))
+            )
+        chosen = list(self._rng.choice(len(pool), size=total, replace=False))
+        events: List[FaultEvent] = []
+        for position, pool_index in enumerate(chosen):
+            kind = FaultKind.CRASH if position < num_crash else FaultKind.BYZANTINE
+            events.append(
+                FaultEvent(
+                    server=pool[int(pool_index)],
+                    kind=kind,
+                    after_event=int(self._rng.integers(0, workload_length + 1)),
+                )
+            )
+        return FaultPlan(tuple(events))

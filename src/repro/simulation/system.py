@@ -1,0 +1,315 @@
+"""End-to-end distributed-system simulation.
+
+:class:`DistributedSystem` wires together the pieces of the paper's
+system model: original machines and their backups run as
+:class:`~repro.simulation.server.Server` s, an environment broadcasts a
+globally ordered event stream to all of them, a
+:class:`~repro.simulation.faults.FaultPlan` injects crash/Byzantine
+faults mid-stream, the environment pauses while the coordinator recovers
+the lost/incorrect states, and execution resumes.  At the end the run is
+verified against ground truth and summarised in a
+:class:`SimulationReport`.
+
+Two factory constructors cover the paper's comparison:
+:meth:`DistributedSystem.with_fusion_backups` (Algorithm 2 backups and
+Algorithm 3 recovery) and :meth:`DistributedSystem.with_replication`
+(the baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import SimulationError
+from ..core.fusion import FusionResult, generate_fusion
+from ..core.product import CrossProduct
+from ..core.replication import ReplicatedSystem
+from ..core.types import EventLabel, StateLabel
+from .coordinator import CoordinatorReport, FusionCoordinator, ReplicationCoordinator
+from .faults import FaultEvent, FaultKind, FaultPlan
+from .server import Server, ServerStatus
+from .trace import ExecutionTrace
+
+__all__ = ["SimulationReport", "DistributedSystem"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Summary of one simulated run.
+
+    Attributes
+    ----------
+    events_applied:
+        Length of the global event stream that was executed.
+    faults_injected:
+        Number of faults that struck during the run.
+    recoveries:
+        Number of recovery passes the coordinator executed.
+    recovered_servers:
+        Names of servers whose state the coordinator had to restore.
+    consistent:
+        True when, at the end of the run, every server's state equals the
+        ground-truth state of its machine.
+    backup_scheme:
+        ``"fusion"``, ``"replication"`` or ``"none"``.
+    num_backups / backup_state_space:
+        Size of the backup fleet, for cost comparisons.
+    trace:
+        The full execution trace.
+    """
+
+    events_applied: int
+    faults_injected: int
+    recoveries: int
+    recovered_servers: Tuple[str, ...]
+    consistent: bool
+    backup_scheme: str
+    num_backups: int
+    backup_state_space: int
+    trace: ExecutionTrace
+
+
+class DistributedSystem:
+    """A simulated distributed system of DFSM servers with backups.
+
+    Most callers should use one of the factory constructors:
+
+    >>> from repro.machines import fig1_counter_a, fig1_counter_b
+    >>> system = DistributedSystem.with_fusion_backups(
+    ...     [fig1_counter_a(), fig1_counter_b()], f=1)
+    >>> report = system.run([0, 1, 0, 0], fault_plan=None)
+    >>> report.consistent
+    True
+    """
+
+    def __init__(
+        self,
+        originals: Sequence[DFSM],
+        backups: Sequence[DFSM],
+        coordinator: Union[FusionCoordinator, ReplicationCoordinator, None],
+        backup_scheme: str,
+        backup_state_space: int,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if not originals:
+            raise SimulationError("a distributed system needs at least one original machine")
+        names = [m.name for m in list(originals) + list(backups)]
+        if len(set(names)) != len(names):
+            raise SimulationError("machine names must be unique across originals and backups")
+        self._originals = tuple(originals)
+        self._backups = tuple(backups)
+        self._servers: Dict[str, Server] = {
+            machine.name: Server(machine) for machine in list(originals) + list(backups)
+        }
+        self._coordinator = coordinator
+        self._backup_scheme = backup_scheme
+        self._backup_state_space = backup_state_space
+        self._max_faults = max_faults
+        self._trace = ExecutionTrace()
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_fusion_backups(
+        cls,
+        machines: Sequence[DFSM],
+        f: int,
+        byzantine: bool = False,
+        fusion: Optional[FusionResult] = None,
+    ) -> "DistributedSystem":
+        """Build a system protected by Algorithm-2 fusion backups.
+
+        A pre-computed :class:`FusionResult` can be passed to avoid
+        regenerating the backups.
+        """
+        if fusion is None:
+            fusion = generate_fusion(machines, f, byzantine=byzantine)
+        coordinator = FusionCoordinator(fusion.product, fusion.backups)
+        return cls(
+            originals=fusion.originals,
+            backups=fusion.backups,
+            coordinator=coordinator,
+            backup_scheme="fusion",
+            backup_state_space=fusion.fusion_state_space,
+            max_faults=fusion.f if not byzantine else fusion.byzantine_f,
+        )
+
+    @classmethod
+    def with_replication(
+        cls, machines: Sequence[DFSM], f: int, byzantine: bool = False
+    ) -> "DistributedSystem":
+        """Build a system protected by the replication baseline."""
+        replicated = ReplicatedSystem(machines, f, byzantine=byzantine)
+        coordinator = ReplicationCoordinator(replicated)
+        return cls(
+            originals=replicated.originals,
+            backups=replicated.replicas,
+            coordinator=coordinator,
+            backup_scheme="replication",
+            backup_state_space=replicated.backup_state_space,
+            max_faults=f,
+        )
+
+    @classmethod
+    def unprotected(cls, machines: Sequence[DFSM]) -> "DistributedSystem":
+        """A system with no backups (recovery impossible; useful as a control)."""
+        return cls(
+            originals=machines,
+            backups=(),
+            coordinator=None,
+            backup_scheme="none",
+            backup_state_space=0,
+            max_faults=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> Mapping[str, Server]:
+        return dict(self._servers)
+
+    @property
+    def originals(self) -> Tuple[DFSM, ...]:
+        return self._originals
+
+    @property
+    def backups(self) -> Tuple[DFSM, ...]:
+        return self._backups
+
+    @property
+    def backup_scheme(self) -> str:
+        return self._backup_scheme
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self._trace
+
+    def server(self, name: str) -> Server:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise SimulationError("unknown server %r" % name) from None
+
+    def server_names(self) -> Tuple[str, ...]:
+        return tuple(self._servers)
+
+    def original_server_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self._originals)
+
+    def states(self) -> Dict[str, Optional[StateLabel]]:
+        """Currently reported state of every server."""
+        return {name: server.report_state() for name, server in self._servers.items()}
+
+    def is_consistent(self) -> bool:
+        """True when every server's visible state matches ground truth."""
+        return all(server.is_consistent() for server in self._servers.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def apply_event(self, event: EventLabel) -> None:
+        """Broadcast one event of the global order to every server."""
+        for server in self._servers.values():
+            server.apply(event)
+        self._steps += 1
+        self._trace.record_event(self._steps, event)
+
+    def inject_fault(self, fault: FaultEvent, rng: Optional[np.random.Generator] = None) -> None:
+        """Apply one fault from a plan to the named server."""
+        server = self.server(fault.server)
+        if fault.kind is FaultKind.CRASH:
+            server.crash()
+            self._trace.record_fault(self._steps, fault.server, "crash")
+        else:
+            corrupted = server.corrupt(rng=rng, target=fault.corrupt_to)
+            self._trace.record_fault(
+                self._steps, fault.server, "byzantine", detail="corrupted to %r" % (corrupted,)
+            )
+
+    def recover(self) -> CoordinatorReport:
+        """Run a recovery pass through the coordinator."""
+        if self._coordinator is None:
+            raise SimulationError("this system has no backups; recovery is impossible")
+        if isinstance(self._coordinator, FusionCoordinator):
+            report = self._coordinator.recover(self._servers, max_faults=self._max_faults)
+        else:
+            report = self._coordinator.recover(self._servers)
+        self._trace.record_recovery(
+            self._steps, report.restored, report.suspected_byzantine
+        )
+        return report
+
+    def run(
+        self,
+        workload: Sequence[EventLabel],
+        fault_plan: Optional[FaultPlan] = None,
+        rng: Optional[np.random.Generator | int] = None,
+        recover_immediately: bool = True,
+    ) -> SimulationReport:
+        """Execute a workload with optional fault injection and recovery.
+
+        The environment's stop-on-fault rule is modelled by performing the
+        recovery pass synchronously (before the next event is delivered)
+        whenever ``recover_immediately`` is true; with it false, all
+        faults accumulate and a single recovery pass runs at the end of
+        the workload (this must still be within the system's fault budget
+        to succeed).
+        """
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        faults_injected = 0
+        recoveries = 0
+        recovered_servers: List[str] = []
+        pending_recovery = False
+
+        def strike(after_index: int) -> None:
+            nonlocal faults_injected, pending_recovery
+            if fault_plan is None:
+                return
+            for fault in fault_plan.faults_after(after_index):
+                self.inject_fault(fault, rng=generator)
+                faults_injected += 1
+                pending_recovery = True
+
+        strike(0)
+        if pending_recovery and recover_immediately and self._coordinator is not None:
+            report = self.recover()
+            recovered_servers.extend(report.restored)
+            recoveries += 1
+            pending_recovery = False
+
+        for index, event in enumerate(workload, start=1):
+            self.apply_event(event)
+            strike(index)
+            if pending_recovery and recover_immediately and self._coordinator is not None:
+                report = self.recover()
+                recovered_servers.extend(report.restored)
+                recoveries += 1
+                pending_recovery = False
+
+        if pending_recovery and self._coordinator is not None:
+            report = self.recover()
+            recovered_servers.extend(report.restored)
+            recoveries += 1
+
+        consistent = self.is_consistent()
+        self._trace.record_verification(self._steps, consistent)
+        return SimulationReport(
+            events_applied=len(workload),
+            faults_injected=faults_injected,
+            recoveries=recoveries,
+            recovered_servers=tuple(recovered_servers),
+            consistent=consistent,
+            backup_scheme=self._backup_scheme,
+            num_backups=len(self._backups),
+            backup_state_space=self._backup_state_space,
+            trace=self._trace,
+        )

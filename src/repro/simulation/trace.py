@@ -1,0 +1,129 @@
+"""Execution traces: a structured record of what happened in a simulation run.
+
+Every :class:`~repro.simulation.system.DistributedSystem` run produces a
+trace containing the applied events, the injected faults, the recovery
+actions and the final verification result, so that benchmarks can report
+(and tests can assert on) exactly what the simulator did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import EventLabel, StateLabel
+
+__all__ = ["TraceRecordKind", "TraceRecord", "ExecutionTrace"]
+
+
+class TraceRecordKind(enum.Enum):
+    """Kinds of record an execution trace may contain."""
+
+    EVENT = "event"
+    FAULT = "fault"
+    RECOVERY = "recovery"
+    VERIFICATION = "verification"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One record of the trace.
+
+    Attributes
+    ----------
+    kind:
+        What kind of record this is.
+    step:
+        Number of global events applied when the record was made.
+    payload:
+        Kind-specific details (event label, fault description, recovered
+        states, …).
+    """
+
+    kind: TraceRecordKind
+    step: int
+    payload: Dict[str, object]
+
+
+class ExecutionTrace:
+    """An append-only record of a simulation run."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[TraceRecord, ...]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    def record_event(self, step: int, event: EventLabel) -> None:
+        self._records.append(
+            TraceRecord(TraceRecordKind.EVENT, step, {"event": event})
+        )
+
+    def record_fault(self, step: int, server: str, kind: str, detail: Optional[str] = None) -> None:
+        self._records.append(
+            TraceRecord(
+                TraceRecordKind.FAULT,
+                step,
+                {"server": server, "fault_kind": kind, "detail": detail},
+            )
+        )
+
+    def record_recovery(
+        self,
+        step: int,
+        recovered_states: Dict[str, StateLabel],
+        suspected_byzantine: Tuple[str, ...] = (),
+    ) -> None:
+        self._records.append(
+            TraceRecord(
+                TraceRecordKind.RECOVERY,
+                step,
+                {
+                    "recovered_states": dict(recovered_states),
+                    "suspected_byzantine": tuple(suspected_byzantine),
+                },
+            )
+        )
+
+    def record_verification(self, step: int, consistent: bool, detail: str = "") -> None:
+        self._records.append(
+            TraceRecord(
+                TraceRecordKind.VERIFICATION,
+                step,
+                {"consistent": consistent, "detail": detail},
+            )
+        )
+
+    def record_note(self, step: int, message: str) -> None:
+        self._records.append(TraceRecord(TraceRecordKind.NOTE, step, {"message": message}))
+
+    # ------------------------------------------------------------------
+    def events_applied(self) -> List[EventLabel]:
+        """The global event sequence as recorded."""
+        return [r.payload["event"] for r in self._records if r.kind is TraceRecordKind.EVENT]
+
+    def faults(self) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind is TraceRecordKind.FAULT]
+
+    def recoveries(self) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind is TraceRecordKind.RECOVERY]
+
+    def verifications(self) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind is TraceRecordKind.VERIFICATION]
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per kind, for quick reporting."""
+        out: Dict[str, int] = {}
+        for record in self._records:
+            out[record.kind.value] = out.get(record.kind.value, 0) + 1
+        return out

@@ -1,0 +1,25 @@
+"""Cross-cutting utilities: deterministic RNG handling, validation, timing."""
+
+from .rng import as_generator, derive_seed, spawn_children
+from .timing import Stopwatch, time_callable, timed
+from .validation import (
+    require_reachable,
+    require_unique_names,
+    shared_alphabet_report,
+    validate_fusion_result,
+    validate_machine_set,
+)
+
+__all__ = [
+    "as_generator",
+    "derive_seed",
+    "spawn_children",
+    "Stopwatch",
+    "timed",
+    "time_callable",
+    "require_unique_names",
+    "require_reachable",
+    "shared_alphabet_report",
+    "validate_machine_set",
+    "validate_fusion_result",
+]

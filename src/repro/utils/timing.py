@@ -1,0 +1,80 @@
+"""Small timing helpers used by benchmarks and the runtime study."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["Stopwatch", "timed", "time_callable"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements.
+
+    >>> watch = Stopwatch()
+    >>> with watch.measure("build"):
+    ...     _ = sum(range(1000))
+    >>> "build" in watch.totals()
+    True
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to the named bucket."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """Total seconds per bucket."""
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of measurements per bucket."""
+        return dict(self._counts)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement of the named bucket."""
+        if name not in self._totals or self._counts.get(name, 0) == 0:
+            raise KeyError("no measurements named %r" % name)
+        return self._totals[name] / self._counts[name]
+
+
+@contextmanager
+def timed() -> Iterator[Callable[[], float]]:
+    """Context manager yielding a callable that reports the elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(1000))
+    >>> elapsed() >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    end: Optional[float] = None
+
+    def reader() -> float:
+        return (end if end is not None else time.perf_counter()) - start
+
+    try:
+        yield reader
+    finally:
+        end = time.perf_counter()
+
+
+def time_callable(function: Callable[[], T]) -> Tuple[T, float]:
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start

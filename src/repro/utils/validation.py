@@ -1,0 +1,100 @@
+"""Cross-cutting validation helpers for machine sets and system invariants.
+
+These checks are used at public API boundaries (simulator construction,
+benchmark harness setup) to turn silent misconfigurations into clear
+errors: duplicate machine names, alphabets that do not overlap at all
+(making fusion pointless), machines with unreachable states, and fusion
+results that violate the theorems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.dfsm import DFSM
+from ..core.exceptions import FusionError, InvalidMachineError
+from ..core.fusion import FusionResult
+
+__all__ = [
+    "require_unique_names",
+    "require_reachable",
+    "shared_alphabet_report",
+    "validate_machine_set",
+    "validate_fusion_result",
+]
+
+
+def require_unique_names(machines: Sequence[DFSM]) -> None:
+    """Raise :class:`InvalidMachineError` when two machines share a name."""
+    seen: Dict[str, int] = {}
+    for machine in machines:
+        seen[machine.name] = seen.get(machine.name, 0) + 1
+    duplicates = sorted(name for name, count in seen.items() if count > 1)
+    if duplicates:
+        raise InvalidMachineError("duplicate machine names: %r" % duplicates)
+
+
+def require_reachable(machines: Sequence[DFSM]) -> None:
+    """Raise when any machine has unreachable states (the paper's assumption)."""
+    offenders = [m.name for m in machines if not m.is_fully_reachable()]
+    if offenders:
+        raise InvalidMachineError(
+            "machines with unreachable states (reduce them first): %r" % offenders
+        )
+
+
+def shared_alphabet_report(machines: Sequence[DFSM]) -> Dict[str, object]:
+    """Describe how much the machines' alphabets overlap.
+
+    Fusion only beats replication when machines react to shared events;
+    the report lists the common alphabet and any machine whose alphabet is
+    disjoint from all the others.
+    """
+    alphabets: List[Set] = [set(m.events) for m in machines]
+    common = set.intersection(*alphabets) if alphabets else set()
+    union: Set = set().union(*alphabets) if alphabets else set()
+    isolated = []
+    for index, machine in enumerate(machines):
+        others: Set = set()
+        for other_index, alphabet in enumerate(alphabets):
+            if other_index != index:
+                others |= alphabet
+        if not (alphabets[index] & others):
+            isolated.append(machine.name)
+    return {
+        "common_events": sorted(common, key=repr),
+        "union_size": len(union),
+        "isolated_machines": isolated,
+    }
+
+
+def validate_machine_set(machines: Sequence[DFSM]) -> None:
+    """Run all machine-set preconditions used by the public entry points."""
+    if not machines:
+        raise InvalidMachineError("at least one machine is required")
+    require_unique_names(machines)
+    require_reachable(machines)
+
+
+def validate_fusion_result(result: FusionResult) -> None:
+    """Check a fusion result against the paper's theorems.
+
+    * ``dmin(A ∪ F) > f`` (Definition 5);
+    * every backup is at most as large as the top;
+    * the backup count equals ``final_dmin - initial_dmin``
+      (each greedy iteration raises dmin by exactly one).
+    """
+    if result.final_dmin <= result.f:
+        raise FusionError(
+            "fusion result does not tolerate f=%d faults (dmin=%d)"
+            % (result.f, result.final_dmin)
+        )
+    oversized = [b.name for b in result.backups if b.num_states > result.top_size]
+    if oversized:
+        raise FusionError("backup machines larger than the top: %r" % oversized)
+    expected = result.final_dmin - result.initial_dmin
+    if len(result.backups) != expected and result.initial_dmin <= result.f:
+        raise FusionError(
+            "expected %d backups (dmin %d -> %d) but got %d"
+            % (expected, result.initial_dmin, result.final_dmin, len(result.backups))
+        )

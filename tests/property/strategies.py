@@ -1,0 +1,52 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Machines are generated as random transition tables over small shared
+alphabets (so that cross products stay small enough for exhaustive
+checks), pruned to their reachable parts per the paper's model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import DFSM
+from repro.core import Partition
+
+
+@st.composite
+def dfsm_strategy(draw, max_states: int = 4, num_events: int = 2, name: str = "rand"):
+    """A random reachable DFSM over the fixed alphabet ``0..num_events-1``."""
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    table = [
+        [draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(num_events)]
+        for _ in range(n)
+    ]
+    machine = DFSM.from_table(table, 0, events=list(range(num_events)), name=name)
+    return machine.restricted_to_reachable()
+
+
+@st.composite
+def machine_set_strategy(draw, min_machines: int = 2, max_machines: int = 3, max_states: int = 3):
+    """A small family of reachable machines over a shared binary alphabet."""
+    count = draw(st.integers(min_value=min_machines, max_value=max_machines))
+    return [
+        draw(dfsm_strategy(max_states=max_states, name="M%d" % index)) for index in range(count)
+    ]
+
+
+@st.composite
+def partition_strategy(draw, num_elements: int):
+    """A random partition of ``num_elements`` elements."""
+    labels = [
+        draw(st.integers(min_value=0, max_value=max(num_elements - 1, 0)))
+        for _ in range(num_elements)
+    ]
+    return Partition(labels)
+
+
+@st.composite
+def event_sequence_strategy(draw, alphabet=(0, 1), max_length: int = 30):
+    """A random event sequence over ``alphabet``."""
+    return draw(
+        st.lists(st.sampled_from(list(alphabet)), min_size=0, max_size=max_length)
+    )

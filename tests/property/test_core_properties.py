@@ -1,0 +1,182 @@
+"""Property-based tests for DFSMs, cross products, partitions and fault graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CrossProduct,
+    FaultGraph,
+    Partition,
+    closed_coarsening,
+    is_closed_partition,
+    lower_cover,
+    machine_from_partition,
+    partition_from_machine,
+)
+
+from .strategies import dfsm_strategy, event_sequence_strategy, machine_set_strategy, partition_strategy
+
+RELAXED = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDfsmProperties:
+    @RELAXED
+    @given(machine=dfsm_strategy(), events=event_sequence_strategy())
+    def test_run_equals_folding_step(self, machine, events):
+        state = machine.initial
+        for event in events:
+            state = machine.step(state, event)
+        assert machine.run(events) == state
+
+    @RELAXED
+    @given(machine=dfsm_strategy(), events=event_sequence_strategy())
+    def test_trajectory_is_consistent_with_run(self, machine, events):
+        trajectory = machine.trajectory(events)
+        assert trajectory[-1] == machine.run(events)
+        assert len(trajectory) == len(events) + 1
+
+    @RELAXED
+    @given(machine=dfsm_strategy())
+    def test_restricted_machine_is_fully_reachable(self, machine):
+        assert machine.is_fully_reachable()
+
+    @RELAXED
+    @given(machine=dfsm_strategy(), events=event_sequence_strategy(alphabet=("x", "y")))
+    def test_foreign_events_never_move_the_machine(self, machine, events):
+        # The strategy's alphabet is {0, 1}; "x"/"y" are foreign.
+        assert machine.run(events) == machine.initial
+
+
+class TestCrossProductProperties:
+    @RELAXED
+    @given(machines=machine_set_strategy(), events=event_sequence_strategy())
+    def test_product_simulates_every_component(self, machines, events):
+        product = CrossProduct(machines)
+        final = product.machine.run(events)
+        for index, machine in enumerate(machines):
+            assert final[index] == machine.run(events)
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_product_size_bounded_by_state_product(self, machines):
+        product = CrossProduct(machines)
+        bound = 1
+        for machine in machines:
+            bound *= machine.num_states
+        assert 1 <= product.num_states <= bound
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_projections_are_closed_partitions(self, machines):
+        product = CrossProduct(machines)
+        top = product.machine
+        for index in range(len(machines)):
+            partition = Partition(product.projection(index))
+            assert is_closed_partition(top, partition)
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_projection_matches_algorithm1(self, machines):
+        product = CrossProduct(machines)
+        top = product.machine
+        for index, machine in enumerate(machines):
+            assert partition_from_machine(top, machine) == Partition(product.projection(index))
+
+
+class TestPartitionProperties:
+    @RELAXED
+    @given(data=st.data(), machine=dfsm_strategy(max_states=4))
+    def test_closed_coarsening_is_closed_and_below(self, data, machine):
+        partition = data.draw(partition_strategy(machine.num_states))
+        closed = closed_coarsening(machine, partition)
+        assert is_closed_partition(machine, closed)
+        assert closed <= partition
+
+    @RELAXED
+    @given(data=st.data(), machine=dfsm_strategy(max_states=4))
+    def test_closed_coarsening_is_idempotent(self, data, machine):
+        partition = data.draw(partition_strategy(machine.num_states))
+        once = closed_coarsening(machine, partition)
+        assert closed_coarsening(machine, once) == once
+
+    @RELAXED
+    @given(data=st.data())
+    def test_join_and_meet_are_bounds(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        p = data.draw(partition_strategy(n))
+        q = data.draw(partition_strategy(n))
+        join, meet = p.join(q), p.meet(q)
+        assert p <= join and q <= join
+        assert meet <= p and meet <= q
+        assert meet <= join
+
+    @RELAXED
+    @given(data=st.data())
+    def test_order_is_antisymmetric(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        p = data.draw(partition_strategy(n))
+        q = data.draw(partition_strategy(n))
+        if p <= q and q <= p:
+            assert p == q
+
+    @RELAXED
+    @given(machine=dfsm_strategy(max_states=4))
+    def test_lower_cover_elements_are_maximal_and_closed(self, machine):
+        top = Partition.identity(machine.num_states)
+        covers = lower_cover(machine, top)
+        for cover in covers:
+            assert is_closed_partition(machine, cover)
+            assert cover < top
+        for first in covers:
+            for second in covers:
+                if first != second:
+                    assert not first < second
+
+    @RELAXED
+    @given(machine=dfsm_strategy(max_states=4))
+    def test_quotient_machine_roundtrip(self, machine):
+        top = Partition.identity(machine.num_states)
+        for cover in lower_cover(machine, top):
+            quotient = machine_from_partition(machine, cover)
+            assert partition_from_machine(machine, quotient) == cover
+
+
+class TestFaultGraphProperties:
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_weights_bounded_by_machine_count(self, machines):
+        product = CrossProduct(machines)
+        graph = FaultGraph.from_cross_product(product)
+        weights = graph.weight_matrix
+        assert int(weights.max(initial=0)) <= len(machines)
+        assert graph.dmin() <= len(machines)
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_adding_a_machine_never_decreases_dmin(self, machines):
+        product = CrossProduct(machines)
+        graph = FaultGraph.from_cross_product(product)
+        extended = graph.with_partition(Partition.identity(product.num_states))
+        assert extended.dmin() >= graph.dmin()
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_distinct_top_states_always_separated_by_some_machine(self, machines):
+        # The join of the component partitions is the identity on the
+        # reachable product, so every pair of distinct top states is
+        # separated by at least one machine.
+        product = CrossProduct(machines)
+        graph = FaultGraph.from_cross_product(product)
+        if product.num_states > 1:
+            assert graph.dmin() >= 1
+
+    @RELAXED
+    @given(machines=machine_set_strategy())
+    def test_weight_matrix_symmetric(self, machines):
+        graph = FaultGraph.from_cross_product(CrossProduct(machines))
+        assert np.array_equal(graph.weight_matrix, graph.weight_matrix.T)

@@ -1,0 +1,146 @@
+"""Unit tests for state-space accounting, sweeps, reporting and the table configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_fusion
+from repro.analysis import (
+    ComparisonRow,
+    backup_count_comparison,
+    compare_fusion_to_replication,
+    format_comparison_table,
+    format_markdown_table,
+    format_row,
+    format_sweep_series,
+    original_state_space,
+    reproduce_table1,
+    sweep_fault_counts,
+    sweep_machine_counts,
+    table1_configuration,
+    table1_rows,
+    time_fusion_generation,
+)
+from repro.machines import fig2_machines, mod_counter
+
+
+class TestComparisonRow:
+    def test_fig2_row_values(self, fig2_machines_pair):
+        row = compare_fusion_to_replication(fig2_machines_pair, 2)
+        assert row.f == 2
+        assert row.top_size == 4
+        assert row.replication_space == 81  # (3 * 3) ** 2
+        assert row.fusion_backups == 2
+        assert row.replication_backups == 4
+        assert row.fusion_space <= row.replication_space
+        assert row.fusion_wins
+        assert row.savings_factor == pytest.approx(row.replication_space / row.fusion_space)
+
+    def test_precomputed_fusion_reused(self, fig2_machines_pair, fig2_fusion_result):
+        row = compare_fusion_to_replication(fig2_machines_pair, 2, fusion=fig2_fusion_result)
+        assert row.backup_sizes == fig2_fusion_result.backup_sizes
+
+    def test_as_dict_roundtrip(self, fig2_machines_pair):
+        row = compare_fusion_to_replication(fig2_machines_pair, 1)
+        data = row.as_dict()
+        assert data["f"] == 1
+        assert data["machines"] == ["A", "B"]
+        assert data["fusion_space"] == row.fusion_space
+
+    def test_original_state_space(self, fig2_machines_pair):
+        assert original_state_space(fig2_machines_pair) == 9
+
+
+class TestSweeps:
+    def test_fault_sweep_monotone_backups(self, fig2_machines_pair):
+        points = sweep_fault_counts(fig2_machines_pair, [0, 1, 2])
+        backups = [p.row.fusion_backups for p in points]
+        assert backups == sorted(backups)
+        assert [p.parameter for p in points] == [0, 1, 2]
+
+    def test_machine_count_sweep(self):
+        def factory(n):
+            return [
+                mod_counter(3, count_event=i % 3, events=(0, 1, 2), name="s%d" % i)
+                for i in range(n)
+            ]
+
+        points = sweep_machine_counts(factory, [2, 4, 6], f=1)
+        # Fusion needs at most one backup regardless of n (and none once the
+        # set contains duplicate counters, which are already redundant),
+        # while replication grows linearly with n.
+        assert all(p.row.fusion_backups <= 1 for p in points)
+        assert [p.row.replication_backups for p in points] == [2, 4, 6]
+
+    def test_backup_count_comparison(self):
+        counts = backup_count_comparison(1000, 5, dmin=1)
+        assert counts["replication_backups"] == 5000
+        assert counts["fusion_backups"] == 5
+        byz = backup_count_comparison(10, 2, dmin=1, byzantine=True)
+        assert byz["replication_backups"] == 40
+        assert byz["fusion_backups"] == 4
+
+    def test_timing_helper(self, fig2_machines_pair):
+        result, timing = time_fusion_generation(fig2_machines_pair, 1)
+        assert timing.seconds >= 0
+        assert timing.top_size == 4
+        assert timing.num_backups == result.num_backups
+
+
+class TestReporting:
+    def test_format_row_cells(self, fig2_machines_pair):
+        row = compare_fusion_to_replication(fig2_machines_pair, 2)
+        cells = format_row(row)
+        assert cells[0] == "A, B"
+        assert cells[1] == "2"
+        assert cells[4] == "81"
+
+    def test_text_table_contains_headers_and_rows(self, fig2_machines_pair):
+        rows = [compare_fusion_to_replication(fig2_machines_pair, f) for f in (1, 2)]
+        table = format_comparison_table(rows, title="demo")
+        assert "demo" in table
+        assert "|Replication|" in table
+        assert table.count("A, B") == 2
+
+    def test_markdown_table(self, fig2_machines_pair):
+        row = compare_fusion_to_replication(fig2_machines_pair, 1)
+        markdown = format_markdown_table([row])
+        assert markdown.startswith("| Original Machines")
+        assert markdown.count("|---") == 1 or "---" in markdown
+
+    def test_sweep_series(self, fig2_machines_pair):
+        rows = [compare_fusion_to_replication(fig2_machines_pair, f) for f in (1, 2)]
+        series = format_sweep_series("f", [1, 2], rows)
+        assert "f" in series.splitlines()[0]
+        assert len(series.splitlines()) == 3
+
+
+class TestTableConfigs:
+    def test_five_rows_defined(self):
+        rows = table1_rows()
+        assert [config.row_id for config in rows] == [1, 2, 3, 4, 5]
+
+    def test_machine_sizes_match_paper_replication_column(self):
+        # (Π |Mi|)^f must reproduce the paper's |Replication| exactly.
+        for config in table1_rows():
+            product = 1
+            for machine in config.machines:
+                product *= machine.num_states
+            assert product**config.f == config.paper.replication_space, config.description
+
+    def test_row_lookup_validation(self):
+        with pytest.raises(ValueError):
+            table1_configuration(6)
+
+    def test_row3_runs_quickly_and_beats_replication(self):
+        config = table1_configuration(3)
+        row = config.run()
+        assert row.fusion_space < row.replication_space
+        assert row.fusion_backups == config.f  # dmin(A) = 1 for this row
+
+    def test_reproduce_subset(self):
+        results = reproduce_table1(rows=[3])
+        assert len(results) == 1
+        config, row = results[0]
+        assert config.row_id == 3
+        assert isinstance(row, ComparisonRow)

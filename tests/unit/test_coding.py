@@ -1,0 +1,122 @@
+"""Unit tests for the erasure-coding analogy (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CrossProduct, FaultGraph, ReproError, generate_fusion
+from repro.coding import (
+    BlockCode,
+    code_from_partitions,
+    correctable_erasures,
+    correctable_errors,
+    distance_distribution,
+    hamming_distance,
+    machine_code,
+    minimum_distance,
+    repetition_code,
+    single_parity_code,
+)
+from repro.core import Partition
+
+
+class TestHammingPrimitives:
+    def test_hamming_distance(self):
+        assert hamming_distance("abc", "abd") == 1
+        assert hamming_distance([1, 2, 3], [1, 2, 3]) == 0
+        assert hamming_distance((0, 0), (1, 1)) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            hamming_distance("ab", "abc")
+
+    def test_minimum_distance(self):
+        assert minimum_distance([(0, 0, 0), (1, 1, 1)]) == 3
+        assert minimum_distance([(0, 0), (0, 1), (1, 1)]) == 1
+        assert minimum_distance([(0, 0)]) == 0
+
+    def test_correction_bounds(self):
+        assert correctable_erasures(3) == 2
+        assert correctable_errors(3) == 1
+        assert correctable_errors(4) == 1
+        assert correctable_erasures(0) == 0
+
+    def test_distance_distribution(self):
+        histogram = distance_distribution([(0, 0), (0, 1), (1, 1)])
+        assert histogram == {1: 2, 2: 1}
+
+
+class TestBlockCode:
+    def test_construction_validation(self):
+        with pytest.raises(ReproError):
+            BlockCode([])
+        with pytest.raises(ReproError):
+            BlockCode([(0, 1), (0, 1, 2)])
+        with pytest.raises(ReproError):
+            BlockCode([(0, 1), (0, 1)])
+
+    def test_repetition_code_properties(self):
+        code = repetition_code(symbol_count=3, copies=3)
+        assert code.size == 3
+        assert code.length == 3
+        assert code.minimum_distance() == 3
+        assert code.correctable_erasures() == 2
+        assert code.correctable_errors() == 1
+
+    def test_single_parity_code_distance_two(self):
+        code = single_parity_code(bits=3)
+        assert code.size == 8
+        assert code.minimum_distance() == 2
+        assert code.correctable_erasures() == 1
+        assert code.correctable_errors() == 0
+
+    def test_erasure_decoding(self):
+        code = repetition_code(2, 3)
+        assert code.decode_erasures((None, 1, None)) == (1, 1, 1)
+        with pytest.raises(ReproError):
+            code.decode_erasures((None, None, None))
+        with pytest.raises(ReproError):
+            code.decode_erasures((None, 1))
+
+    def test_error_decoding(self):
+        code = repetition_code(2, 3)
+        assert code.decode_errors((1, 0, 1)) == (1, 1, 1)
+        with pytest.raises(ReproError):
+            single_parity_code(2).decode_errors((1, 1, 1))  # distance-2 cannot correct
+
+    def test_vote_decoding_matches_erasure_decoding(self):
+        code = repetition_code(3, 3)
+        assert code.decode_by_votes((2, None, 2)) == (2, 2, 2)
+        with pytest.raises(ReproError):
+            code.decode_by_votes((None, None, None))
+
+
+class TestMachineCodes:
+    def test_code_dmin_equals_fault_graph_dmin(self, fig2_machines_pair, fig2_product):
+        code = machine_code(fig2_machines_pair, product=fig2_product)
+        graph = FaultGraph.from_cross_product(fig2_product)
+        assert code.minimum_distance() == graph.dmin()
+        assert code.size == fig2_product.num_states
+        assert code.length == 2
+
+    def test_code_with_fusion_backups(self, fig2_machines_pair, fig2_fusion_result):
+        code = machine_code(
+            fig2_machines_pair,
+            backups=fig2_fusion_result.backups,
+            product=fig2_fusion_result.product,
+        )
+        assert code.minimum_distance() == fig2_fusion_result.final_dmin
+        assert code.correctable_erasures() == fig2_fusion_result.f
+        assert code.correctable_errors() == fig2_fusion_result.byzantine_f
+
+    def test_code_from_partitions(self):
+        partitions = [Partition([0, 1, 0, 1]), Partition([0, 0, 1, 1])]
+        code = code_from_partitions(partitions, 4)
+        assert code.size == 4
+        assert code.length == 2
+
+    def test_fig1_code(self, fig1_counters):
+        result = generate_fusion(fig1_counters, f=1)
+        code = machine_code(fig1_counters, backups=result.backups, product=result.product)
+        assert code.minimum_distance() >= 2
+        assert code.correctable_erasures() >= 1

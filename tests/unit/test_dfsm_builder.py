@@ -1,0 +1,62 @@
+"""Unit tests for the incremental DFSM builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DFSM, DFSMBuilder, InvalidMachineError
+
+
+class TestDFSMBuilder:
+    def test_build_toggle(self):
+        builder = DFSMBuilder(name="toggle")
+        builder.add_transition("off", "press", "on")
+        builder.add_transition("on", "press", "off")
+        machine = builder.build(initial="off")
+        assert machine.run(["press"] * 3) == "on"
+        assert machine.name == "toggle"
+
+    def test_states_registered_in_order(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "b").add_transition("b", "y", "c")
+        assert builder.states == ("a", "b", "c")
+        assert builder.events == ("x", "y")
+
+    def test_missing_transitions_become_self_loops(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "b")
+        builder.add_event("y")
+        machine = builder.build(initial="a")
+        assert machine.step("a", "y") == "a"
+        assert machine.step("b", "x") == "b"
+
+    def test_incomplete_build_without_self_loops_fails(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "b")
+        with pytest.raises(InvalidMachineError):
+            builder.build(initial="a", complete_with_self_loops=False)
+
+    def test_complete_build_without_self_loops(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "b")
+        builder.add_transition("b", "x", "a")
+        machine = builder.build(initial="a", complete_with_self_loops=False)
+        assert machine.num_states == 2
+
+    def test_add_state_idempotent(self):
+        builder = DFSMBuilder()
+        builder.add_state("a").add_state("a")
+        assert builder.states == ("a",)
+
+    def test_builder_result_is_regular_dfsm(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "a")
+        machine = builder.build(initial="a")
+        assert isinstance(machine, DFSM)
+        machine.validate(require_reachable=True)
+
+    def test_initial_must_exist(self):
+        builder = DFSMBuilder()
+        builder.add_transition("a", "x", "a")
+        with pytest.raises(InvalidMachineError):
+            builder.build(initial="missing")

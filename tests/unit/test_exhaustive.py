@@ -1,0 +1,112 @@
+"""Unit tests for the exhaustive fusion search (the greedy-vs-optimal ablation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FusionError,
+    FusionExistenceError,
+    enumerate_closed_partitions,
+    find_all_fusions,
+    find_minimum_state_fusion,
+    generate_fusion,
+    is_fusion,
+    is_minimal_fusion,
+    machine_from_partition,
+)
+from repro.machines import fig3_partition
+
+
+def _machine(name, product):
+    return machine_from_partition(product.machine, fig3_partition(name, product), name=name)
+
+
+class TestEnumeration:
+    def test_enumerates_full_fig3_lattice(self, fig2_top):
+        assert len(enumerate_closed_partitions(fig2_top)) == 10
+
+
+class TestFindAllFusions:
+    def test_all_1_1_fusions_of_fig2_pair(self, fig2_machines_pair, fig2_product):
+        fusions = find_all_fusions(fig2_machines_pair, f=1, m=1, product=fig2_product)
+        found = {combo[0] for combo in fusions}
+        # Exactly the lattice elements that separate both weakest edges.
+        expected_members = {fig3_partition(n, fig2_product) for n in ("top", "M1", "M2", "M6")}
+        assert found == expected_members
+
+    def test_all_2_2_fusions_exclude_m1_m6(self, fig2_machines_pair, fig2_product):
+        fusions = find_all_fusions(fig2_machines_pair, f=2, m=2, product=fig2_product)
+        as_sets = [frozenset(combo) for combo in fusions]
+        m1, m6 = fig3_partition("M1", fig2_product), fig3_partition("M6", fig2_product)
+        m2 = fig3_partition("M2", fig2_product)
+        assert frozenset({m1, m2}) in as_sets
+        assert frozenset({m1, m6}) not in as_sets
+
+    def test_duplicates_allowed_by_default(self, fig2_machines_pair, fig2_product):
+        fusions = find_all_fusions(fig2_machines_pair, f=1, m=2, product=fig2_product)
+        top_p = fig3_partition("top", fig2_product)
+        assert any(combo.count(top_p) == 2 for combo in fusions)
+
+    def test_duplicates_disallowed(self, fig2_machines_pair, fig2_product):
+        fusions = find_all_fusions(
+            fig2_machines_pair, f=1, m=2, product=fig2_product, allow_duplicates=False
+        )
+        assert all(len(set(combo)) == 2 for combo in fusions)
+
+    def test_impossible_request_returns_empty(self, fig2_machines_pair, fig2_product):
+        assert find_all_fusions(fig2_machines_pair, f=2, m=1, product=fig2_product) == []
+
+
+class TestMinimumStateFusion:
+    def test_optimal_1_fusion_has_two_states(self, fig2_machines_pair, fig2_product):
+        best = find_minimum_state_fusion(fig2_machines_pair, f=1, product=fig2_product)
+        assert best.backup_sizes == (2,)
+        assert is_fusion(fig2_machines_pair, best.backups, 1, product=fig2_product)
+
+    def test_optimal_beats_or_matches_greedy(self, fig2_machines_pair, fig2_product):
+        greedy = generate_fusion(fig2_machines_pair, f=2, product=fig2_product)
+        best = find_minimum_state_fusion(fig2_machines_pair, f=2, product=fig2_product)
+        assert best.fusion_state_space <= greedy.fusion_state_space
+
+    def test_sum_objective(self, fig2_machines_pair, fig2_product):
+        best = find_minimum_state_fusion(
+            fig2_machines_pair, f=2, objective="sum", product=fig2_product
+        )
+        assert sum(best.backup_sizes) <= 6
+
+    def test_invalid_objective(self, fig2_machines_pair):
+        with pytest.raises(FusionError):
+            find_minimum_state_fusion(fig2_machines_pair, f=1, objective="nope")
+
+    def test_nonexistent_fusion_raises(self, fig2_machines_pair, fig2_product):
+        with pytest.raises(FusionExistenceError):
+            find_minimum_state_fusion(fig2_machines_pair, f=2, m=1, product=fig2_product)
+
+    def test_zero_backups_when_inherently_tolerant(self, fig2_machines_pair, fig2_product):
+        machines = list(fig2_machines_pair) + [_machine("M1", fig2_product)]
+        best = find_minimum_state_fusion(machines, f=1)
+        assert best.num_backups == 0
+
+
+class TestMinimality:
+    def test_m1_m2_is_minimal(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("M2", fig2_product)]
+        assert is_minimal_fusion(fig2_machines_pair, backups, f=2, product=fig2_product)
+
+    def test_m1_top_is_not_minimal(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("top", fig2_product)]
+        assert not is_minimal_fusion(fig2_machines_pair, backups, f=2, product=fig2_product)
+
+    def test_single_m6_is_minimal_for_one_fault(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M6", fig2_product)]
+        assert is_minimal_fusion(fig2_machines_pair, backups, f=1, product=fig2_product)
+
+    def test_single_top_is_not_minimal_for_one_fault(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("top", fig2_product)]
+        assert not is_minimal_fusion(fig2_machines_pair, backups, f=1, product=fig2_product)
+
+    def test_invalid_fusion_rejected(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("M6", fig2_product)]
+        with pytest.raises(FusionError):
+            is_minimal_fusion(fig2_machines_pair, backups, f=2, product=fig2_product)

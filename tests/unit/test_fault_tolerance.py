@@ -1,0 +1,123 @@
+"""Unit tests for Theorems 1, 2, 4 and Observation 1 as predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    can_tolerate_byzantine_faults,
+    can_tolerate_crash_faults,
+    fusion_exists,
+    inherent_fault_tolerance,
+    max_byzantine_faults,
+    max_crash_faults,
+    minimum_backups_required,
+    required_dmin,
+    system_dmin,
+    system_fault_graph,
+)
+from repro.core import CrossProduct, machine_from_partition
+from repro.machines import fig3_partition
+
+
+def _machine(name, product):
+    return machine_from_partition(product.machine, fig3_partition(name, product), name=name)
+
+
+class TestSystemDmin:
+    def test_fig2_pair_has_dmin_one(self, fig2_machines_pair):
+        assert system_dmin(fig2_machines_pair) == 1
+
+    def test_adding_m1_raises_dmin(self, fig2_machines_pair, fig2_product):
+        m1 = _machine("M1", fig2_product)
+        assert system_dmin(fig2_machines_pair, backups=[m1], product=fig2_product) == 2
+
+    def test_adding_basis_reaches_three(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("M2", fig2_product)]
+        assert system_dmin(fig2_machines_pair, backups=backups, product=fig2_product) == 3
+
+    def test_system_fault_graph_returns_product(self, fig2_machines_pair):
+        graph, product = system_fault_graph(fig2_machines_pair)
+        assert product.num_states == 4
+        assert graph.num_machines == 2
+
+
+class TestTheorem1And2:
+    def test_pair_cannot_tolerate_one_crash(self, fig2_machines_pair):
+        assert not can_tolerate_crash_faults(fig2_machines_pair, 1)
+        assert can_tolerate_crash_faults(fig2_machines_pair, 0)
+
+    def test_with_m1_m2_two_crashes_tolerated(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("M2", fig2_product)]
+        assert can_tolerate_crash_faults(fig2_machines_pair, 2, backups=backups)
+        assert not can_tolerate_crash_faults(fig2_machines_pair, 3, backups=backups)
+
+    def test_with_m1_m2_one_byzantine_tolerated(self, fig2_machines_pair, fig2_product):
+        # Section 3's worked example: dmin = 3 gives 1 Byzantine fault, not 2.
+        backups = [_machine("M1", fig2_product), _machine("M2", fig2_product)]
+        assert can_tolerate_byzantine_faults(fig2_machines_pair, 1, backups=backups)
+        assert not can_tolerate_byzantine_faults(fig2_machines_pair, 2, backups=backups)
+
+    def test_fig1_hand_fusions_tolerate_one_byzantine(self, fig1_counters, fig1_hand_fusions):
+        assert can_tolerate_byzantine_faults(fig1_counters, 1, backups=fig1_hand_fusions)
+
+    def test_max_faults_helpers(self, fig2_machines_pair, fig2_product):
+        backups = [_machine("M1", fig2_product), _machine("M2", fig2_product)]
+        assert max_crash_faults(fig2_machines_pair, backups=backups) == 2
+        assert max_byzantine_faults(fig2_machines_pair, backups=backups) == 1
+        assert max_crash_faults(fig2_machines_pair) == 0
+
+    def test_negative_fault_counts_rejected(self, fig2_machines_pair):
+        with pytest.raises(ValueError):
+            can_tolerate_crash_faults(fig2_machines_pair, -1)
+        with pytest.raises(ValueError):
+            can_tolerate_byzantine_faults(fig2_machines_pair, -1)
+
+
+class TestObservation1:
+    def test_inherent_tolerance_of_pair(self, fig2_machines_pair):
+        profile = inherent_fault_tolerance(fig2_machines_pair)
+        assert profile.dmin == 1
+        assert profile.crash_faults == 0
+        assert profile.byzantine_faults == 0
+        assert profile.top_size == 4
+        assert profile.num_machines == 2
+
+    def test_inherently_tolerant_set(self, fig2_machines_pair, fig2_product):
+        # {A, B, M1} tolerates one crash fault with no backups (Section 4).
+        machines = list(fig2_machines_pair) + [_machine("M1", fig2_product)]
+        profile = inherent_fault_tolerance(machines)
+        assert profile.dmin == 2
+        assert profile.crash_faults == 1
+
+
+class TestTheorem4:
+    def test_required_dmin(self):
+        assert required_dmin(2) == 3
+        assert required_dmin(2, byzantine=True) == 5
+        assert required_dmin(0) == 1
+        with pytest.raises(ValueError):
+            required_dmin(-1)
+
+    def test_no_2_1_fusion_exists_for_fig2_pair(self, fig2_machines_pair):
+        # Section 4: there cannot exist a (2, 1)-fusion of {A, B}.
+        assert not fusion_exists(fig2_machines_pair, f=2, m=1)
+        assert fusion_exists(fig2_machines_pair, f=2, m=2)
+        assert fusion_exists(fig2_machines_pair, f=1, m=1)
+
+    def test_fusion_exists_input_validation(self, fig2_machines_pair):
+        with pytest.raises(ValueError):
+            fusion_exists(fig2_machines_pair, f=-1, m=0)
+
+    def test_minimum_backups_required(self, fig2_machines_pair, fig1_counters):
+        assert minimum_backups_required(fig2_machines_pair, 2) == 2
+        assert minimum_backups_required(fig2_machines_pair, 1) == 1
+        assert minimum_backups_required(fig1_counters, 1) == 1
+        # Byzantine target doubles the distance requirement.
+        assert minimum_backups_required(fig2_machines_pair, 1, byzantine=True) == 2
+
+    def test_minimum_backups_zero_for_inherently_tolerant_sets(
+        self, fig2_machines_pair, fig2_product
+    ):
+        machines = list(fig2_machines_pair) + [_machine("M1", fig2_product)]
+        assert minimum_backups_required(machines, 1) == 0

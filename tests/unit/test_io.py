@@ -1,0 +1,112 @@
+"""Unit tests for JSON serialisation and DOT export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ClosedPartitionLattice, FaultGraph, SerializationError, generate_fusion
+from repro.io import (
+    dump_machine,
+    dumps_machine,
+    fault_graph_to_dot,
+    fusion_result_to_dict,
+    lattice_to_dot,
+    load_machine,
+    loads_machine,
+    machine_from_dict,
+    machine_to_dict,
+    machine_to_dot,
+)
+from repro.machines import available_machines, fig2_machine_a, get_machine, mesi, tcp
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("name", ["mesi", "tcp", "shift_register", "fig2_machine_a", "vending_machine"])
+    def test_registry_machines_roundtrip(self, name):
+        machine = get_machine(name)
+        assert loads_machine(dumps_machine(machine)) == machine
+
+    def test_tuple_and_frozenset_labels_roundtrip(self, fig2_machines_pair):
+        # Fusion machines have frozensets of tuples as state labels.
+        result = generate_fusion(fig2_machines_pair, f=1)
+        backup = result.backups[0]
+        assert loads_machine(dumps_machine(backup)) == backup
+
+    def test_dict_format_fields(self):
+        data = machine_to_dict(mesi())
+        assert data["format"] == "repro.dfsm/1"
+        assert data["name"] == "MESI"
+        assert len(data["states"]) == 4
+        assert len(data["transitions"]) == 4
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "machine.json")
+        dump_machine(tcp(), path)
+        assert load_machine(path) == tcp()
+
+    def test_file_object_roundtrip(self, tmp_path):
+        path = tmp_path / "machine.json"
+        with open(path, "w") as handle:
+            dump_machine(mesi(), handle)
+        with open(path) as handle:
+            assert load_machine(handle) == mesi()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            loads_machine("{not json")
+
+    def test_wrong_format_rejected(self):
+        data = machine_to_dict(mesi())
+        data["format"] = "something-else"
+        with pytest.raises(SerializationError):
+            machine_from_dict(data)
+
+    def test_malformed_description_rejected(self):
+        with pytest.raises(SerializationError):
+            machine_from_dict({"format": "repro.dfsm/1", "states": [1]})
+
+    def test_fusion_result_export_is_json_serialisable(self, fig2_machines_pair):
+        result = generate_fusion(fig2_machines_pair, f=2)
+        payload = fusion_result_to_dict(result)
+        text = json.dumps(payload)
+        assert "repro.fusion/1" in text
+        assert len(payload["backups"]) == 2
+
+
+class TestDotExport:
+    def test_machine_dot_contains_states_and_initial_marker(self):
+        dot = machine_to_dot(mesi())
+        assert dot.startswith('digraph "MESI"')
+        for state in ("I", "E", "S", "M"):
+            assert '"%s"' % state in dot
+        assert "__start" in dot
+
+    def test_fault_graph_dot_edge_weights(self, fig2_fault_graph):
+        dot = fault_graph_to_dot(fig2_fault_graph)
+        assert dot.startswith("graph fault_graph")
+        assert '"2"' in dot and '"1"' in dot
+
+    def test_fault_graph_dot_zero_edge_filtering(self, fig2_product):
+        from repro.machines import fig3_partition
+
+        graph = FaultGraph(4, [fig3_partition("A", fig2_product)], state_labels=fig2_product.machine.states)
+        with_zero = fault_graph_to_dot(graph, show_zero_edges=True)
+        without_zero = fault_graph_to_dot(graph, show_zero_edges=False)
+        assert with_zero.count("--") > without_zero.count("--")
+
+    def test_lattice_dot(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        dot = lattice_to_dot(lattice)
+        assert dot.startswith("digraph lattice")
+        assert dot.count("->") == len(lattice.cover_edges())
+
+    def test_lattice_dot_with_names(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        dot = lattice_to_dot(lattice, names={0: "TOP"})
+        assert '"TOP"' in dot
+
+    def test_every_registry_machine_exports(self):
+        for name in available_machines():
+            assert machine_to_dot(get_machine(name))

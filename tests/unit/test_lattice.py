@@ -1,0 +1,131 @@
+"""Unit tests for lower covers and the closed partition lattice (Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClosedPartitionLattice, Partition, PartitionError, basis, lower_cover, lower_cover_machines
+from repro.machines import fig3_partition, mesi
+
+
+class TestLowerCover:
+    def test_basis_of_fig2_top_is_the_four_paper_machines(self, fig2_top, fig2_product):
+        covers = basis(fig2_top)
+        expected = {fig3_partition(name, fig2_product) for name in ("A", "B", "M1", "M2")}
+        assert set(covers) == expected
+
+    def test_lower_cover_of_a_is_m3_m4(self, fig2_top, fig2_product):
+        covers = lower_cover(fig2_top, fig3_partition("A", fig2_product))
+        expected = {fig3_partition("M3", fig2_product), fig3_partition("M4", fig2_product)}
+        assert set(covers) == expected
+
+    def test_lower_cover_of_m1_is_m3_m6(self, fig2_top, fig2_product):
+        covers = lower_cover(fig2_top, fig3_partition("M1", fig2_product))
+        expected = {fig3_partition("M3", fig2_product), fig3_partition("M6", fig2_product)}
+        assert set(covers) == expected
+
+    def test_lower_cover_of_m2_is_m4_m5_m6(self, fig2_top, fig2_product):
+        covers = lower_cover(fig2_top, fig3_partition("M2", fig2_product))
+        expected = {
+            fig3_partition("M4", fig2_product),
+            fig3_partition("M5", fig2_product),
+            fig3_partition("M6", fig2_product),
+        }
+        assert set(covers) == expected
+
+    def test_lower_cover_elements_are_strictly_below(self, fig2_top):
+        top = Partition.identity(fig2_top.num_states)
+        for cover in lower_cover(fig2_top, top):
+            assert cover < top
+
+    def test_lower_cover_of_bottom_is_empty(self, fig2_top):
+        assert lower_cover(fig2_top, Partition.single_block(4)) == []
+
+    def test_two_block_partition_covers_only_bottom(self, fig2_top, fig2_product):
+        covers = lower_cover(fig2_top, fig3_partition("M6", fig2_product))
+        assert covers == [Partition.single_block(4)]
+
+    def test_size_mismatch_rejected(self, fig2_top):
+        with pytest.raises(PartitionError):
+            lower_cover(fig2_top, Partition.identity(9))
+
+    def test_lower_cover_machines_are_quotients(self, fig2_top):
+        machines = lower_cover_machines(fig2_top, name_prefix="Q")
+        assert len(machines) == 4
+        assert all(m.num_states == 3 for m in machines)
+        assert machines[0].name.startswith("Q")
+
+
+class TestClosedPartitionLattice:
+    def test_fig3_lattice_has_ten_elements(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        assert lattice.size == 10
+
+    def test_lattice_contains_all_named_machines(self, fig2_top, fig2_product):
+        lattice = ClosedPartitionLattice(fig2_top)
+        for name in ("top", "A", "B", "M1", "M2", "M3", "M4", "M5", "M6", "bottom"):
+            assert fig3_partition(name, fig2_product) in lattice
+
+    def test_top_and_bottom(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        assert lattice.top_partition == Partition.identity(4)
+        assert lattice.bottom_partition == Partition.single_block(4)
+        assert lattice.bottom_partition in lattice
+
+    def test_every_element_is_closed(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        lattice.validate()
+
+    def test_block_count_census_matches_fig3(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        assert len(lattice.partitions_with_block_count(4)) == 1  # top
+        assert len(lattice.partitions_with_block_count(3)) == 4  # A, B, M1, M2
+        assert len(lattice.partitions_with_block_count(2)) == 4  # M3..M6
+        assert len(lattice.partitions_with_block_count(1)) == 1  # bottom
+
+    def test_cover_edges_form_hasse_diagram(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        for upper, lower in lattice.cover_edges():
+            assert lattice.partitions[lower] < lattice.partitions[upper]
+
+    def test_networkx_export(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        graph = lattice.to_networkx()
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == len(lattice.cover_edges())
+
+    def test_find_partition_by_blocks(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        found = lattice.find_partition_by_blocks(
+            [[("a0", "b0"), ("a2", "b2")], [("a1", "b1")], [("a0", "b2")]]
+        )
+        assert found is not None  # that's M1
+        missing = lattice.find_partition_by_blocks(
+            [[("a0", "b0"), ("a1", "b1")], [("a2", "b2")], [("a0", "b2")]]
+        )
+        assert missing is None  # not closed, hence not in the lattice
+
+    def test_index_of_unknown_partition_raises(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        with pytest.raises(PartitionError):
+            lattice.index_of(Partition.from_blocks([[0, 1], [2], [3]], 4))
+
+    def test_max_size_guard(self, fig2_top):
+        with pytest.raises(PartitionError):
+            ClosedPartitionLattice(fig2_top, max_size=3)
+
+    def test_lattice_of_mesi_is_enumerable(self):
+        lattice = ClosedPartitionLattice(mesi())
+        assert lattice.size >= 2
+        lattice.validate()
+
+    def test_basis_method_matches_module_function(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        assert set(lattice.basis()) == set(basis(fig2_top))
+
+    def test_machines_export(self, fig2_top):
+        lattice = ClosedPartitionLattice(fig2_top)
+        machines = lattice.machines(name_prefix="N")
+        assert len(machines) == 10
+        sizes = sorted(m.num_states for m in machines)
+        assert sizes == [1, 2, 2, 2, 2, 3, 3, 3, 3, 4]

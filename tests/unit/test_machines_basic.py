@@ -1,0 +1,176 @@
+"""Unit tests for counters, parity checkers, toggles, shift registers and patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidMachineError
+from repro.machines import (
+    bounded_counter,
+    difference_counter,
+    divider,
+    even_parity_checker,
+    mod_counter,
+    multi_parity_checker,
+    odd_parity_checker,
+    one_counter,
+    parity_checker,
+    pattern_detector,
+    pattern_generator,
+    shift_register,
+    sliding_window_register,
+    sum_counter,
+    toggle_switch,
+    up_down_counter,
+    zero_counter,
+)
+
+
+class TestCounters:
+    def test_mod_counter_counts_its_event(self):
+        counter = mod_counter(3, count_event=0, events=(0, 1))
+        assert counter.run([0, 0, 1, 1, 0]) == "c0"
+        assert counter.run([0, 1, 0]) == "c2"
+
+    def test_mod_counter_ignores_other_events(self):
+        counter = mod_counter(5, count_event="tick", events=("tick", "noise"))
+        assert counter.run(["noise"] * 10) == "c0"
+
+    def test_mod_counter_adds_count_event_to_alphabet(self):
+        counter = mod_counter(3, count_event="extra", events=("a",))
+        assert "extra" in counter.events
+
+    def test_mod_counter_rejects_bad_modulus(self):
+        with pytest.raises(InvalidMachineError):
+            mod_counter(0, count_event=0)
+
+    def test_zero_and_one_counters(self):
+        z, o = zero_counter(), one_counter()
+        events = [0, 1, 1, 0, 1]
+        assert z.run(events) == "c2"
+        assert o.run(events) == "c0"
+
+    def test_sum_counter_tracks_total(self):
+        machine = sum_counter(3, counted_events=(0, 1), events=(0, 1))
+        assert machine.run([0, 1, 1]) == "s0"
+        assert machine.run([0, 1]) == "s2"
+
+    def test_difference_counter_wraps_both_ways(self):
+        machine = difference_counter(3, plus_event=0, minus_event=1)
+        assert machine.run([0, 0]) == "d2"
+        assert machine.run([1]) == "d2"
+        assert machine.run([0, 1, 0, 1]) == "d0"
+
+    def test_divider_is_cyclic(self):
+        machine = divider(4, tick_event="t", events=("t",))
+        assert machine.num_states == 4
+        assert machine.run(["t"] * 4) == "phase0"
+
+    def test_bounded_counter_saturates_and_resets(self):
+        machine = bounded_counter(2, up_event="inc", reset_event="reset")
+        assert machine.run(["inc"] * 5) == "n2"
+        assert machine.run(["inc", "inc", "reset"]) == "n0"
+
+    def test_up_down_counter(self):
+        machine = up_down_counter(4)
+        assert machine.run(["up", "up", "down"]) == "u1"
+        assert machine.run(["down"]) == "u3"
+
+    def test_counter_size_parameters_validated(self):
+        for factory in (sum_counter, divider, bounded_counter, up_down_counter):
+            with pytest.raises(InvalidMachineError):
+                if factory is sum_counter:
+                    factory(0, counted_events=(0,))
+                else:
+                    factory(0)
+
+
+class TestParityAndToggle:
+    def test_parity_checker_flips(self):
+        machine = parity_checker("bit", events=("bit", "other"))
+        assert machine.run(["bit"]) == "odd"
+        assert machine.run(["bit", "other", "bit"]) == "even"
+
+    def test_even_and_odd_watch_different_events(self):
+        even, odd = even_parity_checker(), odd_parity_checker()
+        events = [0, 0, 1]
+        assert even.run(events) == "even"
+        assert odd.run(events) == "odd"
+
+    def test_toggle_switch(self):
+        machine = toggle_switch()
+        assert machine.run(["toggle"]) == "on"
+        assert machine.run(["toggle", "toggle"]) == "off"
+        assert machine.num_states == 2
+
+    def test_multi_parity_counts_all_watched(self):
+        machine = multi_parity_checker(watch_events=(0, 1), events=(0, 1, 2))
+        assert machine.run([0, 1]) == "even"
+        assert machine.run([0, 2]) == "odd"
+
+
+class TestShiftRegistersAndPatterns:
+    def test_shift_register_has_2_pow_width_states(self):
+        machine = shift_register(3)
+        assert machine.num_states == 8
+        assert machine.is_fully_reachable()
+
+    def test_shift_register_records_last_bits(self):
+        machine = shift_register(3, bit_events=(0, 1))
+        assert machine.run([1, 0, 1, 1]) == "011"
+
+    def test_shift_register_ignores_foreign_events(self):
+        machine = shift_register(2, bit_events=(0, 1), events=(0, 1, "x"))
+        assert machine.run([1, "x", 1]) == "11"
+
+    def test_shift_register_width_validated(self):
+        with pytest.raises(InvalidMachineError):
+            shift_register(0)
+
+    def test_sliding_window_register_reachable(self):
+        machine = sliding_window_register(2, alphabet=("a", "b"))
+        assert machine.is_fully_reachable()
+        assert machine.run(["a", "b"]) == ("a", "b")
+
+    def test_pattern_generator_cycles(self):
+        machine = pattern_generator(4, step_event="step")
+        assert machine.num_states == 4
+        assert machine.run(["step"] * 4) == "p0"
+        assert machine.run(["step"] * 5) == "p1"
+
+    def test_pattern_generator_ignores_other_events(self):
+        machine = pattern_generator(3, step_event="step", events=("step", "noise"))
+        assert machine.run(["noise", "step"]) == "p1"
+
+    def test_pattern_detector_detects(self):
+        machine = pattern_detector((0, 1, 1), alphabet=(0, 1))
+        assert machine.run([0, 1, 1]) == 3
+        assert machine.run([0, 0, 1]) == 2  # suffix "0 1" matches a 2-prefix
+        assert machine.run([1, 1, 1]) == 0
+
+    def test_pattern_detector_overlapping_restart(self):
+        machine = pattern_detector((0, 1, 0, 1), alphabet=(0, 1))
+        # After a full match the next "0 1" should reuse the border.
+        assert machine.run([0, 1, 0, 1, 0, 1]) == 4
+
+    def test_pattern_detector_validates_pattern(self):
+        with pytest.raises(InvalidMachineError):
+            pattern_detector((), alphabet=(0, 1))
+        with pytest.raises(InvalidMachineError):
+            pattern_detector((7,), alphabet=(0, 1))
+
+    def test_all_machines_fully_reachable(self):
+        machines = [
+            mod_counter(3, 0, events=(0, 1)),
+            sum_counter(3, (0, 1)),
+            difference_counter(3, 0, 1),
+            parity_checker(0, events=(0, 1)),
+            toggle_switch(),
+            shift_register(3),
+            pattern_generator(4),
+            pattern_detector((0, 1), (0, 1)),
+            bounded_counter(3),
+            up_down_counter(3),
+        ]
+        for machine in machines:
+            assert machine.is_fully_reachable(), machine.name

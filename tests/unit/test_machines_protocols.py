@@ -1,0 +1,226 @@
+"""Unit tests for the protocol machines (MESI/MSI/MOESI, TCP), the misc
+machines, random generation and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidMachineError
+from repro.machines import (
+    available_machines,
+    elevator,
+    get_machine,
+    mesi,
+    moesi,
+    msi,
+    random_connected_dfsm,
+    random_counter_family,
+    random_dfsm,
+    random_machine_family,
+    register_machine,
+    sensor_threshold,
+    sliding_mode_controller,
+    tcp,
+    tcp_simplified,
+    token_ring_station,
+    traffic_light,
+    turnstile,
+    vending_machine,
+)
+from repro.machines.registry import MACHINE_REGISTRY
+
+
+class TestCacheCoherence:
+    def test_sizes(self):
+        assert msi().num_states == 3
+        assert mesi().num_states == 4
+        assert moesi().num_states == 5
+
+    def test_mesi_read_then_write(self):
+        machine = mesi()
+        assert machine.run(["local_read"]) == "E"
+        assert machine.run(["local_read", "local_write"]) == "M"
+        assert machine.run(["local_write"]) == "M"
+
+    def test_mesi_demotion_on_bus_read(self):
+        machine = mesi()
+        assert machine.run(["local_write", "bus_read"]) == "S"
+        assert machine.run(["local_read", "bus_read"]) == "S"
+
+    def test_mesi_invalidation(self):
+        machine = mesi()
+        assert machine.run(["local_write", "bus_write"]) == "I"
+        assert machine.run(["local_read", "evict"]) == "I"
+
+    def test_moesi_owned_state(self):
+        machine = moesi()
+        assert machine.run(["local_write", "bus_read"]) == "O"
+        assert machine.run(["local_write", "bus_read", "local_write"]) == "M"
+
+    def test_all_cache_machines_reachable(self):
+        for machine in (msi(), mesi(), moesi()):
+            assert machine.is_fully_reachable()
+
+    def test_extended_alphabet(self):
+        machine = mesi(events=("local_read", "local_write", "evict", "bus_read", "bus_write", "extra"))
+        assert machine.step("I", "extra") == "I"
+
+
+class TestTcp:
+    def test_eleven_states(self):
+        assert tcp().num_states == 11
+
+    def test_three_way_handshake_client(self):
+        machine = tcp()
+        assert machine.run(["active_open", "recv_syn_ack"]) == "ESTABLISHED"
+
+    def test_passive_open_server(self):
+        machine = tcp()
+        assert machine.run(["passive_open", "recv_syn", "recv_ack"]) == "ESTABLISHED"
+
+    def test_active_close_full_teardown(self):
+        machine = tcp()
+        path = ["active_open", "recv_syn_ack", "close", "recv_ack", "recv_fin", "timeout"]
+        assert machine.run(path) == "CLOSED"
+
+    def test_simultaneous_close(self):
+        machine = tcp()
+        path = ["active_open", "recv_syn_ack", "close", "recv_fin", "recv_ack"]
+        assert machine.run(path) == "TIME_WAIT"
+
+    def test_passive_close(self):
+        machine = tcp()
+        path = ["passive_open", "recv_syn", "recv_ack", "recv_fin", "close", "recv_ack"]
+        assert machine.run(path) == "CLOSED"
+
+    def test_reset_aborts(self):
+        machine = tcp()
+        assert machine.run(["active_open", "recv_syn_ack", "rst"]) == "CLOSED"
+
+    def test_all_states_reachable(self):
+        assert tcp().is_fully_reachable()
+        assert tcp_simplified().is_fully_reachable()
+
+    def test_simplified_has_five_states(self):
+        assert tcp_simplified().num_states == 5
+
+
+class TestMiscMachines:
+    def test_traffic_light_cycles(self):
+        machine = traffic_light()
+        assert machine.run(["tick", "tick", "tick"]) == "green"
+
+    def test_turnstile(self):
+        machine = turnstile()
+        assert machine.run(["push"]) == "locked"
+        assert machine.run(["coin", "push"]) == "locked"
+        assert machine.run(["coin"]) == "unlocked"
+
+    def test_vending_machine_vends_only_when_paid(self):
+        machine = vending_machine(price=2)
+        assert machine.run(["coin", "vend"]) == "credit1"
+        assert machine.run(["coin", "coin", "vend"]) == "credit0"
+        assert machine.run(["coin", "cancel"]) == "credit0"
+
+    def test_elevator_saturates(self):
+        machine = elevator(floors=3)
+        assert machine.run(["up"] * 10) == "floor2"
+        assert machine.run(["down"] * 3) == "floor0"
+
+    def test_token_ring_rotation(self):
+        machine = token_ring_station(4)
+        assert machine.run(["pass_token"] * 5) == "holder1"
+
+    def test_sensor_threshold_bands(self):
+        machine = sensor_threshold(levels=3)
+        assert machine.run(["rise", "rise", "rise"]) == "band2"
+        assert machine.run(["rise", "fall"]) == "band0"
+
+    def test_mode_controller(self):
+        machine = sliding_mode_controller()
+        assert machine.run(["engage", "engage", "engage"]) == "holding"
+        assert machine.run(["engage", "disengage"]) == "idle"
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidMachineError):
+            vending_machine(price=0)
+        with pytest.raises(InvalidMachineError):
+            elevator(floors=1)
+        with pytest.raises(InvalidMachineError):
+            token_ring_station(1)
+        with pytest.raises(InvalidMachineError):
+            sensor_threshold(levels=1)
+        with pytest.raises(InvalidMachineError):
+            sliding_mode_controller(modes=("only",))
+
+
+class TestRandomMachines:
+    def test_random_dfsm_is_reachable(self):
+        machine = random_dfsm(8, events=(0, 1), rng=0)
+        assert machine.is_fully_reachable()
+
+    def test_random_connected_keeps_all_states(self):
+        machine = random_connected_dfsm(12, events=(0, 1, 2), rng=1)
+        assert machine.num_states == 12
+        assert machine.is_fully_reachable()
+
+    def test_determinism_with_same_seed(self):
+        first = random_connected_dfsm(6, events=(0, 1), rng=42)
+        second = random_connected_dfsm(6, events=(0, 1), rng=42)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = random_connected_dfsm(10, events=(0, 1), rng=1)
+        second = random_connected_dfsm(10, events=(0, 1), rng=2)
+        assert first != second
+
+    def test_counter_family(self):
+        family = random_counter_family(10, modulus=3, num_events=4, rng=3)
+        assert len(family) == 10
+        assert all(m.num_states == 3 for m in family)
+        assert len({m.name for m in family}) == 10
+
+    def test_machine_family(self):
+        family = random_machine_family(4, 5, events=(0, 1), rng=7)
+        assert len(family) == 4
+        assert all(m.num_states == 5 for m in family)
+
+    def test_validation(self):
+        with pytest.raises(InvalidMachineError):
+            random_dfsm(0, events=(0,))
+        with pytest.raises(InvalidMachineError):
+            random_connected_dfsm(3, events=())
+        with pytest.raises(InvalidMachineError):
+            random_counter_family(0)
+
+
+class TestRegistry:
+    def test_all_registered_machines_build_and_validate(self):
+        for name in available_machines():
+            machine = get_machine(name)
+            machine.validate()
+
+    def test_get_machine_with_kwargs(self):
+        machine = get_machine("mesi", name="my-mesi")
+        assert machine.name == "my-mesi"
+
+    def test_unknown_machine(self):
+        with pytest.raises(InvalidMachineError):
+            get_machine("definitely-not-registered")
+
+    def test_register_and_overwrite_rules(self):
+        name = "test-only-machine"
+        try:
+            register_machine(name, lambda **kw: mesi(**kw))
+            assert name in available_machines()
+            with pytest.raises(InvalidMachineError):
+                register_machine(name, lambda **kw: mesi(**kw))
+            register_machine(name, lambda **kw: msi(**kw), overwrite=True)
+            assert get_machine(name).num_states == 3
+        finally:
+            MACHINE_REGISTRY.pop(name, None)
+
+    def test_registry_contains_paper_machines(self):
+        expected = {"mesi", "tcp", "fig2_machine_a", "fig2_machine_b", "shift_register"}
+        assert expected.issubset(set(available_machines()))

@@ -1,0 +1,125 @@
+"""Unit tests for a-priori DFSM reduction (Moore / Hopcroft minimisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DFSM, InvalidMachineError, are_equivalent, hopcroft_minimize, minimize, remove_unreachable
+from repro.machines import mod_counter
+
+
+def redundant_parity():
+    """A 4-state machine that is really a 2-state parity tracker."""
+    machine = DFSM(
+        states=["e0", "o0", "e1", "o1"],
+        events=["flip", "noop"],
+        transitions={
+            "e0": {"flip": "o0", "noop": "e1"},
+            "o0": {"flip": "e0", "noop": "o1"},
+            "e1": {"flip": "o1", "noop": "e0"},
+            "o1": {"flip": "e1", "noop": "o0"},
+        },
+        initial="e0",
+        name="redundant-parity",
+    )
+    outputs = {"e0": "even", "e1": "even", "o0": "odd", "o1": "odd"}
+    return machine, outputs
+
+
+class TestRemoveUnreachable:
+    def test_removes_dead_states(self):
+        machine = DFSM(
+            ["a", "b", "dead"],
+            ["x"],
+            {"a": {"x": "b"}, "b": {"x": "a"}, "dead": {"x": "dead"}},
+            "a",
+        )
+        assert remove_unreachable(machine).num_states == 2
+
+    def test_noop_for_reachable_machine(self):
+        machine = mod_counter(3, 0, events=(0, 1))
+        assert remove_unreachable(machine) is machine
+
+
+class TestMooreMinimize:
+    def test_collapses_equivalent_states(self):
+        machine, outputs = redundant_parity()
+        reduced = minimize(machine, outputs)
+        assert reduced.num_states == 2
+
+    def test_minimized_machine_is_equivalent(self):
+        machine, outputs = redundant_parity()
+        reduced = minimize(machine, outputs)
+        reduced_outputs = {
+            state: ("even" if any(str(s).startswith("e") for s in (state if isinstance(state, tuple) else (state,))) else "odd")
+            for state in reduced.states
+        }
+        assert are_equivalent(machine, outputs, reduced, reduced_outputs)
+
+    def test_distinct_outputs_prevent_merging(self):
+        machine = mod_counter(3, 0, events=(0, 1))
+        outputs = {state: state for state in machine.states}
+        assert minimize(machine, outputs).num_states == 3
+
+    def test_single_output_collapses_to_one_state(self):
+        machine = mod_counter(3, 0, events=(0, 1))
+        outputs = {state: "same" for state in machine.states}
+        assert minimize(machine, outputs).num_states == 1
+
+    def test_missing_output_raises(self):
+        machine = mod_counter(3, 0, events=(0, 1))
+        with pytest.raises(InvalidMachineError):
+            minimize(machine, {"c0": 1})
+
+    def test_minimization_drops_unreachable_states_first(self):
+        machine = DFSM(
+            ["a", "b", "dead"],
+            ["x"],
+            {"a": {"x": "b"}, "b": {"x": "a"}, "dead": {"x": "dead"}},
+            "a",
+        )
+        reduced = minimize(machine, {"a": 0, "b": 1, "dead": 0})
+        assert reduced.num_states == 2
+
+
+class TestHopcroftMinimize:
+    def test_agrees_with_moore_on_size(self):
+        machine, outputs = redundant_parity()
+        assert hopcroft_minimize(machine, outputs).num_states == minimize(machine, outputs).num_states
+
+    def test_agrees_on_counter(self):
+        machine = mod_counter(4, 0, events=(0, 1))
+        outputs = {"c0": "zero", "c1": "other", "c2": "other", "c3": "other"}
+        moore = minimize(machine, outputs)
+        hopcroft = hopcroft_minimize(machine, outputs)
+        assert moore.num_states == hopcroft.num_states
+
+    def test_result_is_behaviourally_equivalent(self):
+        machine, outputs = redundant_parity()
+        reduced = hopcroft_minimize(machine, outputs)
+
+        def output_of(state):
+            labels = state if isinstance(state, tuple) else (state,)
+            return "even" if any(str(s).startswith("e") for s in labels) else "odd"
+
+        reduced_outputs = {state: output_of(state) for state in reduced.states}
+        assert are_equivalent(machine, outputs, reduced, reduced_outputs)
+
+
+class TestEquivalence:
+    def test_identical_machines_equivalent(self):
+        machine = mod_counter(3, 0, events=(0, 1))
+        outputs = {state: state for state in machine.states}
+        assert are_equivalent(machine, outputs, machine, outputs)
+
+    def test_different_alphabets_not_equivalent(self):
+        a = mod_counter(3, 0, events=(0, 1))
+        b = mod_counter(3, "x", events=("x", "y"))
+        assert not are_equivalent(a, {s: s for s in a.states}, b, {s: s for s in b.states})
+
+    def test_behaviour_difference_detected(self):
+        a = mod_counter(3, 0, events=(0, 1))
+        b = mod_counter(4, 0, events=(0, 1))
+        outputs_a = {s: ("zero" if s == "c0" else "nonzero") for s in a.states}
+        outputs_b = {s: ("zero" if s == "c0" else "nonzero") for s in b.states}
+        assert not are_equivalent(a, outputs_a, b, outputs_b)

@@ -1,0 +1,148 @@
+"""Unit tests for the replication baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FaultToleranceExceededError,
+    RecoveryError,
+    ReplicatedSystem,
+    replicate,
+    replication_backup_count,
+    replication_state_space,
+)
+from repro.machines import fig1_counter_a, fig1_counter_b, mesi, tcp
+
+
+class TestReplicaGeneration:
+    def test_crash_replicas(self):
+        machines = [mesi(), tcp()]
+        replicas = replicate(machines, f=2)
+        assert len(replicas) == 4
+        assert {r.name for r in replicas} == {
+            "MESI/copy1",
+            "MESI/copy2",
+            "TCP/copy1",
+            "TCP/copy2",
+        }
+
+    def test_byzantine_replicas_double(self):
+        machines = [mesi()]
+        assert len(replicate(machines, f=2, byzantine=True)) == 4
+
+    def test_zero_faults_no_replicas(self):
+        assert replicate([mesi()], f=0) == []
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ValueError):
+            replicate([mesi()], f=-1)
+
+    def test_replicas_behave_like_originals(self):
+        original = fig1_counter_a()
+        replica = replicate([original], 1)[0]
+        events = [0, 0, 1, 0]
+        assert replica.run(events) == original.run(events)
+
+
+class TestStateSpaceAccounting:
+    def test_backup_count(self):
+        assert replication_backup_count(3, 2) == 6
+        assert replication_backup_count(3, 2, byzantine=True) == 12
+        assert replication_backup_count(100, 1) == 100
+
+    def test_backup_count_validation(self):
+        with pytest.raises(ValueError):
+            replication_backup_count(-1, 1)
+
+    def test_state_space_formula(self):
+        machines = [mesi(), tcp()]  # 4 * 11 = 44
+        assert replication_state_space(machines, 1) == 44
+        assert replication_state_space(machines, 2) == 44**2
+        assert replication_state_space(machines, 0) == 1
+
+    def test_state_space_validation(self):
+        with pytest.raises(ValueError):
+            replication_state_space([mesi()], -1)
+
+
+class TestReplicatedSystem:
+    def _system(self, f=1, byzantine=False):
+        return ReplicatedSystem([fig1_counter_a(), fig1_counter_b()], f, byzantine=byzantine)
+
+    def test_structure(self):
+        system = self._system(f=2)
+        assert system.num_backups == 4
+        assert system.backup_state_space == 81
+        assert len(system.instance_names()) == 6
+
+    def test_group_of(self):
+        system = self._system()
+        assert system.group_of("A(n0 mod3)/copy1") == "A(n0 mod3)"
+        assert system.group_of("A(n0 mod3)") == "A(n0 mod3)"
+        with pytest.raises(RecoveryError):
+            system.group_of("stranger")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedSystem([mesi(), mesi()], 1)
+
+    def test_empty_machine_list_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedSystem([], 1)
+
+    def test_crash_recovery_reads_survivor(self):
+        system = self._system(f=1)
+        events = [0, 1, 0, 0]
+        a, b = system.originals
+        observations = {
+            "A(n0 mod3)": None,  # primary crashed
+            "A(n0 mod3)/copy1": a.run(events),
+            "B(n1 mod3)": b.run(events),
+            "B(n1 mod3)/copy1": b.run(events),
+        }
+        outcome = system.recover(observations)
+        assert outcome.machine_states["A(n0 mod3)"] == a.run(events)
+
+    def test_whole_group_crash_is_unrecoverable(self):
+        system = self._system(f=1)
+        observations = {
+            "A(n0 mod3)": None,
+            "A(n0 mod3)/copy1": None,
+            "B(n1 mod3)": "c0",
+            "B(n1 mod3)/copy1": "c0",
+        }
+        with pytest.raises(FaultToleranceExceededError):
+            system.recover(observations)
+
+    def test_byzantine_majority(self):
+        system = self._system(f=1, byzantine=True)
+        observations = {
+            "A(n0 mod3)": "c2",       # liar
+            "A(n0 mod3)/copy1": "c1",
+            "A(n0 mod3)/copy2": "c1",
+            "B(n1 mod3)": "c0",
+            "B(n1 mod3)/copy1": "c0",
+            "B(n1 mod3)/copy2": "c0",
+        }
+        outcome = system.recover(observations)
+        assert outcome.machine_states["A(n0 mod3)"] == "c1"
+        assert "A(n0 mod3)" in outcome.suspected_byzantine
+
+    def test_byzantine_tie_raises(self):
+        system = self._system(f=1, byzantine=True)
+        observations = {
+            "A(n0 mod3)": "c2",
+            "A(n0 mod3)/copy1": "c1",
+            "A(n0 mod3)/copy2": None,
+            "B(n1 mod3)": "c0",
+            "B(n1 mod3)/copy1": "c0",
+            "B(n1 mod3)/copy2": "c0",
+        }
+        with pytest.raises(RecoveryError):
+            system.recover(observations)
+
+    def test_unknown_instance_rejected(self):
+        system = self._system()
+        with pytest.raises(RecoveryError):
+            system.recover({"ghost": "c0"})

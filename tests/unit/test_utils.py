@@ -1,0 +1,135 @@
+"""Unit tests for the RNG, timing and validation utilities."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import FusionError, InvalidMachineError, generate_fusion
+from repro.machines import fig1_counter_a, fig1_counter_b, mesi, tcp
+from repro.utils import (
+    Stopwatch,
+    as_generator,
+    derive_seed,
+    require_reachable,
+    require_unique_names,
+    shared_alphabet_report,
+    spawn_children,
+    time_callable,
+    timed,
+    validate_fusion_result,
+    validate_machine_set,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a = as_generator(7)
+        b = as_generator(7)
+        assert a.integers(0, 100, 5).tolist() == b.integers(0, 100, 5).tolist()
+
+    def test_as_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_as_generator_from_seed_sequence(self):
+        sequence = np.random.SeedSequence(3)
+        assert as_generator(sequence).integers(0, 10) == as_generator(np.random.SeedSequence(3)).integers(0, 10)
+
+    def test_spawn_children_independent_and_reproducible(self):
+        first = [g.integers(0, 1000) for g in spawn_children(11, 3)]
+        second = [g.integers(0, 1000) for g in spawn_children(11, 3)]
+        assert first == second
+        assert len(set(first)) > 1 or len(first) == 1
+
+    def test_spawn_children_from_generator(self):
+        children = spawn_children(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_spawn_children_validation(self):
+        with pytest.raises(ValueError):
+            spawn_children(1, -1)
+
+    def test_derive_seed_stable_and_salted(self):
+        assert derive_seed(5, "workload") == derive_seed(5, "workload")
+        assert derive_seed(5, "workload") != derive_seed(5, "faults")
+        assert derive_seed(None, "x") == derive_seed(None, "x")
+        assert isinstance(derive_seed("string-seed", 1, 2), int)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("work"):
+            time.sleep(0.001)
+        with watch.measure("work"):
+            pass
+        assert watch.counts()["work"] == 2
+        assert watch.totals()["work"] > 0
+        assert watch.mean("work") >= 0
+
+    def test_stopwatch_unknown_bucket(self):
+        with pytest.raises(KeyError):
+            Stopwatch().mean("nothing")
+
+    def test_timed_context(self):
+        with timed() as elapsed:
+            time.sleep(0.001)
+        final = elapsed()
+        assert final >= 0.001
+        assert elapsed() == final  # frozen after exit
+
+    def test_time_callable(self):
+        value, seconds = time_callable(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0
+
+
+class TestValidation:
+    def test_unique_names_enforced(self):
+        with pytest.raises(InvalidMachineError):
+            require_unique_names([mesi(), mesi()])
+        require_unique_names([mesi(), tcp()])
+
+    def test_reachability_enforced(self):
+        from repro import DFSM
+
+        machine = DFSM(
+            ["a", "dead"], ["x"], {"a": {"x": "a"}, "dead": {"x": "dead"}}, "a"
+        )
+        with pytest.raises(InvalidMachineError):
+            require_reachable([machine])
+        require_reachable([mesi()])
+
+    def test_validate_machine_set(self):
+        validate_machine_set([fig1_counter_a(), fig1_counter_b()])
+        with pytest.raises(InvalidMachineError):
+            validate_machine_set([])
+
+    def test_shared_alphabet_report(self):
+        counters = [fig1_counter_a(), fig1_counter_b()]
+        report = shared_alphabet_report(counters)
+        assert report["common_events"] == [0, 1]
+        assert report["isolated_machines"] == []
+        mixed = shared_alphabet_report([fig1_counter_a(), mesi()])
+        assert "MESI" in mixed["isolated_machines"]
+
+    def test_validate_fusion_result_accepts_algorithm_output(self, fig2_machines_pair):
+        validate_fusion_result(generate_fusion(fig2_machines_pair, f=2))
+
+    def test_validate_fusion_result_detects_insufficient_dmin(self, fig2_machines_pair):
+        result = generate_fusion(fig2_machines_pair, f=1)
+        broken = type(result)(
+            originals=result.originals,
+            backups=result.backups,
+            partitions=result.partitions,
+            product=result.product,
+            graph=result.graph,
+            f=5,  # claims more tolerance than it has
+            initial_dmin=result.initial_dmin,
+            final_dmin=result.final_dmin,
+        )
+        with pytest.raises(FusionError):
+            validate_fusion_result(broken)
