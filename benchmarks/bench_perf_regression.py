@@ -1,0 +1,222 @@
+"""Perf-regression harness: per-stage timings with a persisted baseline.
+
+Runs Algorithm 2 over the runtime-study workloads (plus the larger
+``counters-6`` case the vectorised engine unlocked), records wall-clock
+and per-stage timings (product build, graph build, descent, candidate
+pruning, closure) through :class:`repro.utils.timing.Stopwatch`, and
+emits a machine-readable ``BENCH_perf.json`` at the repository root so
+subsequent PRs have a trajectory to beat:
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py
+
+``PRE_PR_BASELINE_SECONDS`` pins the wall-clock numbers measured at the
+seed commit (278f16b, pre-vectorisation) on the reference container, and
+``EXPECTED_SUMMARIES`` freezes the semantic outputs (backup count, backup
+sizes, dmin) every optimisation must reproduce byte-for-byte.  The pytest
+entry points assert the semantic half strictly and the timing half with
+generous absolute guards, so CI catches real regressions without being
+flaky on slow runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Sequence
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.fusion import generate_fusion
+from repro.utils.timing import Stopwatch
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
+
+from bench_runtime import GENERATION_CASES
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_perf.json"
+)
+
+#: Wall-clock seconds at the seed commit (pre-PR dense/Python engine),
+#: measured on the reference container.  ``counters-6`` had no pre-PR
+#: entry in the runtime study; its seed-engine time is recorded here from
+#: the same measurement session for completeness.
+PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
+    "counters-3 (top=27)": 0.0016,
+    "mesi+tcp (top=44)": 0.403,
+    "counters-5 (top=243)": 0.0162,
+    "mesi+counters+shift (top~252)": 0.821,
+    "counters-6 (top=729)": 0.0828,
+}
+
+#: Semantic outputs every engine change must preserve exactly.
+EXPECTED_SUMMARIES: Dict[str, Dict[str, object]] = {
+    "counters-3 (top=27)": {
+        "originals": ["c0", "c1", "c2"], "f": 1, "top_size": 27,
+        "num_backups": 1, "backup_sizes": [3], "fusion_state_space": 3,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
+    "mesi+tcp (top=44)": {
+        "originals": ["MESI", "TCP"], "f": 1, "top_size": 44,
+        "num_backups": 1, "backup_sizes": [44], "fusion_state_space": 44,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
+    "counters-5 (top=243)": {
+        "originals": ["c0", "c1", "c2", "c3", "c4"], "f": 1, "top_size": 243,
+        "num_backups": 1, "backup_sizes": [3], "fusion_state_space": 3,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
+    "mesi+counters+shift (top~252)": {
+        "originals": ["MESI", "rd-ctr", "wr-ctr", "sr"], "f": 1, "top_size": 252,
+        "num_backups": 1, "backup_sizes": [84], "fusion_state_space": 84,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
+    "counters-6 (top=729)": {
+        "originals": ["c0", "c1", "c2", "c3", "c4", "c5"], "f": 1, "top_size": 729,
+        "num_backups": 1, "backup_sizes": [3], "fusion_state_space": 3,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
+}
+
+
+#: The runtime study's workloads are the perf baseline's workloads — one
+#: definition, shared with ``bench_runtime.py``, so both suites always
+#: measure the same machines under the same case names.
+CASES: Dict[str, Callable[[], Sequence]] = dict(GENERATION_CASES)
+
+#: Generous absolute wall-clock guards (seconds) for CI runners of
+#: unknown speed.  The real trajectory lives in BENCH_perf.json.
+WALL_CLOCK_GUARDS: Dict[str, float] = {
+    "counters-3 (top=27)": 5.0,
+    "mesi+tcp (top=44)": 10.0,
+    "counters-5 (top=243)": 10.0,
+    "mesi+counters+shift (top~252)": 15.0,
+    "counters-6 (top=729)": 30.0,
+}
+
+
+def _warm_up() -> None:
+    """Pay one-time lazy-import and allocation costs outside the timers."""
+    generate_fusion(CASES["counters-3 (top=27)"](), f=1)
+
+
+def run_case(name: str, rounds: int = 1) -> Dict[str, object]:
+    """Time one workload; returns wall-clock, per-stage breakdown and summary."""
+    best = float("inf")
+    record: Dict[str, object] = {}
+    for _ in range(max(1, rounds)):
+        machines = CASES[name]()
+        watch = Stopwatch()
+        start = time.perf_counter()
+        result = generate_fusion(machines, f=1, stopwatch=watch)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            pre = PRE_PR_BASELINE_SECONDS.get(name)
+            record = {
+                "seconds": round(elapsed, 6),
+                # "descent" contains "prune" and "closure"; the other
+                # stages partition the remaining wall-clock.
+                "stages": watch.as_dict(),
+                "summary": result.summary(),
+                "pre_pr_seconds": pre,
+                "speedup_vs_pre_pr": round(pre / elapsed, 2) if pre else None,
+            }
+    return record
+
+
+def run_suite(rounds: int = 1) -> Dict[str, object]:
+    """Run every case and assemble the BENCH_perf.json payload."""
+    _warm_up()
+    cases = {name: run_case(name, rounds=rounds) for name in CASES}
+    return {
+        "schema": "repro-bench-perf/1",
+        "note": (
+            "Wall-clock seconds per Algorithm-2 workload with per-stage "
+            "breakdown. pre_pr_seconds pins the seed-commit engine on the "
+            "reference container; regenerate with "
+            "PYTHONPATH=src python benchmarks/bench_perf_regression.py"
+        ),
+        "cases": cases,
+    }
+
+
+def write_results(rounds: int = 1, path: str = RESULT_PATH) -> Dict[str, object]:
+    payload = run_suite(rounds=rounds)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (run as part of the benchmark suite / CI smoke)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case", list(CASES))
+def test_summaries_are_frozen(case):
+    """The optimised engine must reproduce the seed engine's outputs exactly."""
+    result = generate_fusion(CASES[case](), f=1)
+    assert result.summary() == EXPECTED_SUMMARIES[case]
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_wall_clock_guard(case):
+    """Loose absolute bound so gross perf regressions fail fast in CI."""
+    machines = CASES[case]()
+    start = time.perf_counter()
+    generate_fusion(machines, f=1)
+    elapsed = time.perf_counter() - start
+    assert elapsed < WALL_CLOCK_GUARDS[case], (
+        "%s took %.2fs, guard is %.1fs" % (case, elapsed, WALL_CLOCK_GUARDS[case])
+    )
+
+
+def test_counters6_well_under_runtime_bound():
+    """The new top=729 case must clear the runtime study's 60 s bound easily."""
+    start = time.perf_counter()
+    result = generate_fusion(CASES["counters-6 (top=729)"](), f=1)
+    elapsed = time.perf_counter() - start
+    assert result.summary() == EXPECTED_SUMMARIES["counters-6 (top=729)"]
+    assert elapsed < 30.0
+
+
+def main(argv: Sequence[str]) -> int:
+    rounds = 3
+    for arg in argv:
+        if arg.startswith("--rounds="):
+            try:
+                rounds = int(arg.split("=", 1)[1])
+            except ValueError:
+                print("invalid --rounds value %r (want an integer)" % arg.split("=", 1)[1])
+                return 2
+    payload = write_results(rounds=rounds)
+    for name, record in payload["cases"].items():
+        speedup = record.get("speedup_vs_pre_pr")
+        print(
+            "%-32s %8.4fs  speedup vs pre-PR: %s"
+            % (name, record["seconds"], ("%.1fx" % speedup) if speedup else "n/a")
+        )
+    if "--check" in argv:
+        failures = [
+            name
+            for name, record in payload["cases"].items()
+            if record["summary"] != EXPECTED_SUMMARIES[name]
+            or record["seconds"] >= WALL_CLOCK_GUARDS[name]
+        ]
+        if failures:
+            print("FAILED cases: %s" % ", ".join(failures))
+            return 1
+    print("wrote %s" % RESULT_PATH)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,10 +10,15 @@ determines the fault tolerance of the set:
 * up to ``dmin - 1`` crash faults (Theorem 1 / Observation 1);
 * up to ``floor((dmin - 1) / 2)`` Byzantine faults (Theorem 2).
 
-Edge weights are stored in a dense NumPy matrix so that adding a machine,
-finding the weakest edges and recomputing ``dmin`` are vectorised
-operations — these run inside the inner loop of fusion generation
-(Algorithm 2) where the matrix has ``|top|^2`` entries.
+Edge weights are stored *condensed*: a single vector with one entry per
+unordered state pair ``(i, j)``, ``i < j``, indexed by the shared
+upper-triangular index arrays of :func:`condensed_indices`.  Folding in a
+machine, recomputing ``dmin`` and listing the weakest edges are then
+single vectorised passes over that vector — these run inside the inner
+loop of fusion generation (Algorithm 2) — and ``dmin`` / the weakest
+edges are computed once per (immutable) graph and cached; building a new
+graph with :meth:`with_partition` starts from the parent's vector, so
+nothing is ever recomputed from scratch.
 """
 
 from __future__ import annotations
@@ -28,9 +33,35 @@ from .partition import Partition, partition_from_machine
 from .product import CrossProduct
 from .types import StateLabel
 
-__all__ = ["FaultGraph", "build_fault_graph", "dmin_of_machines", "separation_matrix"]
+__all__ = [
+    "FaultGraph",
+    "build_fault_graph",
+    "condensed_indices",
+    "dmin_of_machines",
+    "separation_matrix",
+]
 
 EdgeKey = Tuple[int, int]
+
+#: Shared upper-triangular index arrays keyed by the number of states.
+#: Every graph over ``n`` states uses the same two read-only arrays, so
+#: repeated fusion calls pay the ``triu_indices`` cost once.
+_CONDENSED_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+_CONDENSED_CACHE_LIMIT = 32
+
+
+def condensed_indices(num_states: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The (cached, read-only) ``i`` and ``j`` arrays of all pairs ``i < j``."""
+    cached = _CONDENSED_CACHE.get(num_states)
+    if cached is None:
+        rows, cols = np.triu_indices(num_states, k=1)
+        rows.setflags(write=False)
+        cols.setflags(write=False)
+        cached = (rows, cols)
+        while len(_CONDENSED_CACHE) >= _CONDENSED_CACHE_LIMIT:
+            _CONDENSED_CACHE.pop(next(iter(_CONDENSED_CACHE)))
+        _CONDENSED_CACHE[num_states] = cached
+    return cached
 
 
 def separation_matrix(partition: Partition) -> np.ndarray:
@@ -42,6 +73,12 @@ def separation_matrix(partition: Partition) -> np.ndarray:
     """
     labels = partition.labels
     return labels[:, None] != labels[None, :]
+
+
+def _condensed_separation(partition: Partition, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Condensed form of :func:`separation_matrix`: one bool per pair ``i < j``."""
+    labels = partition.labels
+    return labels[rows] != labels[cols]
 
 
 class FaultGraph:
@@ -60,10 +97,27 @@ class FaultGraph:
         Optional display names, parallel to ``partitions``.
 
     The class is immutable; :meth:`with_partition` returns a new graph
-    with one more machine folded in (reusing the existing weight matrix).
+    with one more machine folded in (reusing the existing condensed
+    weight vector).  Derived quantities (``dmin``, the weakest edges, the
+    dense weight matrix) are computed lazily and cached per instance —
+    immutability makes the caches trivially valid, and the incremental
+    constructors hand the next graph a ready-made weight vector, so cache
+    "invalidation" is simply a fresh object.
     """
 
-    __slots__ = ("_n", "_weights", "_partitions", "_names", "_labels", "_label_index")
+    __slots__ = (
+        "_n",
+        "_condensed",
+        "_partitions",
+        "_names",
+        "_labels",
+        "_label_index",
+        "_has_integer_labels",
+        "_dmin",
+        "_weak_rows",
+        "_weak_cols",
+        "_dense",
+    )
 
     def __init__(
         self,
@@ -72,6 +126,7 @@ class FaultGraph:
         state_labels: Optional[Sequence[StateLabel]] = None,
         machine_names: Optional[Sequence[str]] = None,
         _weights: Optional[np.ndarray] = None,
+        _condensed: Optional[np.ndarray] = None,
     ) -> None:
         if num_states <= 0:
             raise PartitionError("a fault graph needs at least one state")
@@ -96,16 +151,33 @@ class FaultGraph:
         self._label_index: Optional[Dict[StateLabel, int]] = (
             {s: i for i, s in enumerate(self._labels)} if self._labels is not None else None
         )
+        self._has_integer_labels = self._labels is not None and any(
+            isinstance(label, (int, np.integer)) for label in self._labels
+        )
 
-        if _weights is not None:
-            weights = _weights
+        rows, cols = condensed_indices(self._n)
+        if _condensed is not None:
+            condensed = np.asarray(_condensed, dtype=np.int64)
+        elif _weights is not None:
+            dense = np.asarray(_weights, dtype=np.int64)
+            condensed = dense[rows, cols].copy()
         else:
-            weights = np.zeros((self._n, self._n), dtype=np.int64)
+            condensed = np.zeros(rows.size, dtype=np.int64)
             for partition in self._partitions:
-                weights += separation_matrix(partition)
-        weights = np.asarray(weights, dtype=np.int64)
-        weights.setflags(write=False)
-        self._weights = weights
+                condensed += _condensed_separation(partition, rows, cols)
+        if condensed.shape != rows.shape:
+            raise PartitionError(
+                "condensed weight vector has %d entries, expected %d"
+                % (condensed.size, rows.size)
+            )
+        condensed.setflags(write=False)
+        self._condensed = condensed
+
+        # Lazily-computed caches (valid forever: the graph is immutable).
+        self._dmin: Optional[int] = None
+        self._weak_rows: Optional[np.ndarray] = None
+        self._weak_cols: Optional[np.ndarray] = None
+        self._dense: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -130,15 +202,13 @@ class FaultGraph:
     def from_cross_product(cls, product: CrossProduct) -> "FaultGraph":
         """Fault graph of the component machines of a :class:`CrossProduct`.
 
-        Uses the product's stored projections directly, avoiding the
-        lockstep walks of Algorithm 1.
+        Uses the product's cached component partitions directly, avoiding
+        both the lockstep walks of Algorithm 1 and re-canonicalising the
+        projections on every fusion call.
         """
-        partitions = [
-            Partition(product.projection(i)) for i in range(product.num_components)
-        ]
         return cls(
             product.num_states,
-            partitions,
+            product.component_partitions(),
             state_labels=product.machine.states,
             machine_names=[m.name for m in product.components],
         )
@@ -165,13 +235,30 @@ class FaultGraph:
         return self._names
 
     @property
+    def condensed_weights(self) -> np.ndarray:
+        """Edge weights as a read-only vector over all pairs ``i < j``.
+
+        Paired with :func:`condensed_indices`; this is the storage format
+        and the cheapest way to scan every edge.
+        """
+        return self._condensed
+
+    @property
     def weight_matrix(self) -> np.ndarray:
         """The symmetric ``(n, n)`` edge-weight matrix (read-only).
 
-        The diagonal is meaningless (a state is never "separated" from
-        itself) and always zero.
+        Reconstructed from the condensed vector on first access and
+        cached; the diagonal is meaningless (a state is never "separated"
+        from itself) and always zero.
         """
-        return self._weights
+        if self._dense is None:
+            rows, cols = condensed_indices(self._n)
+            dense = np.zeros((self._n, self._n), dtype=np.int64)
+            dense[rows, cols] = self._condensed
+            dense[cols, rows] = self._condensed
+            dense.setflags(write=False)
+            self._dense = dense
+        return self._dense
 
     @property
     def state_labels(self) -> Optional[Tuple[StateLabel, ...]]:
@@ -188,42 +275,61 @@ class FaultGraph:
     # Edge addressing
     # ------------------------------------------------------------------
     def _resolve(self, state: Union[int, StateLabel]) -> int:
-        if isinstance(state, (int, np.integer)) and (
-            self._labels is None or state not in (self._label_index or {})
-        ):
+        if self._label_index is not None:
+            try:
+                hit = self._label_index.get(state)
+            except TypeError:  # unhashable input can never be a label
+                hit = None
+            if hit is not None:
+                return hit
+            if isinstance(state, (int, np.integer)):
+                if self._has_integer_labels:
+                    # Some labels are integers, so an integer that is not
+                    # itself a label is ambiguous: silently treating it as
+                    # an index would shadow the label namespace.
+                    raise PartitionError(
+                        "state %r is not a label of this graph; its labels are "
+                        "integers, so indices cannot be used unambiguously" % (state,)
+                    )
+                index = int(state)
+                if not 0 <= index < self._n:
+                    raise PartitionError("state index %d out of range" % index)
+                return index
+            raise PartitionError("unknown state %r" % (state,))
+        if isinstance(state, (int, np.integer)):
             index = int(state)
             if not 0 <= index < self._n:
                 raise PartitionError("state index %d out of range" % index)
             return index
-        if self._label_index is None:
-            raise PartitionError(
-                "fault graph has no state labels; address edges by index"
-            )
-        try:
-            return self._label_index[state]
-        except KeyError:
-            raise PartitionError("unknown state %r" % (state,)) from None
+        raise PartitionError(
+            "fault graph has no state labels; address edges by index"
+        )
+
+    def _pair_offset(self, i: int, j: int) -> int:
+        """Offset of the pair ``(i, j)``, ``i < j``, in the condensed vector."""
+        return i * (2 * self._n - i - 1) // 2 + (j - i - 1)
 
     def distance(self, a: Union[int, StateLabel], b: Union[int, StateLabel]) -> int:
         """The distance ``d(ti, tj)`` of Definition 4 (the edge weight)."""
         ia, ib = self._resolve(a), self._resolve(b)
-        return int(self._weights[ia, ib])
+        if ia == ib:
+            return 0
+        if ia > ib:
+            ia, ib = ib, ia
+        return int(self._condensed[self._pair_offset(ia, ib)])
 
     weight = distance
 
     def edges(self) -> List[Tuple[int, int, int]]:
         """All edges as ``(i, j, weight)`` with ``i < j``."""
-        out = []
-        for i in range(self._n):
-            for j in range(i + 1, self._n):
-                out.append((i, j, int(self._weights[i, j])))
-        return out
+        rows, cols = condensed_indices(self._n)
+        return list(zip(rows.tolist(), cols.tolist(), self._condensed.tolist()))
 
     # ------------------------------------------------------------------
     # dmin and weakest edges
     # ------------------------------------------------------------------
     def dmin(self) -> int:
-        """The least edge weight ``dmin(T, M)``.
+        """The least edge weight ``dmin(T, M)`` (cached after first call).
 
         A graph with a single node has no edges; by convention its dmin is
         reported as the number of machines (every machine trivially
@@ -232,43 +338,65 @@ class FaultGraph:
         """
         if self._n == 1:
             return self.num_machines
-        off_diagonal = self._weights[~np.eye(self._n, dtype=bool)]
-        return int(off_diagonal.min())
+        if self._dmin is None:
+            self._dmin = int(self._condensed.min())
+        return self._dmin
+
+    def weakest_edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The weakest edges as two parallel index arrays (cached).
+
+        ``(rows, cols)`` with ``rows[k] < cols[k]`` and
+        ``weight(rows[k], cols[k]) == dmin()`` — the form the fusion
+        descent consumes directly for vectorised separation checks.
+        """
+        if self._weak_rows is None:
+            if self._n == 1:
+                self._weak_rows = np.empty(0, dtype=np.int64)
+                self._weak_cols = np.empty(0, dtype=np.int64)
+            else:
+                rows, cols = condensed_indices(self._n)
+                mask = self._condensed == self.dmin()
+                self._weak_rows = rows[mask]
+                self._weak_cols = cols[mask]
+                self._weak_rows.setflags(write=False)
+                self._weak_cols.setflags(write=False)
+        return self._weak_rows, self._weak_cols  # type: ignore[return-value]
 
     def weakest_edges(self) -> List[EdgeKey]:
         """Edges (as ``(i, j)`` index pairs, i < j) whose weight equals dmin."""
-        if self._n == 1:
-            return []
-        d = self.dmin()
-        upper = np.triu(np.ones((self._n, self._n), dtype=bool), k=1)
-        mask = (self._weights == d) & upper
-        return [(int(i), int(j)) for i, j in zip(*np.nonzero(mask))]
+        rows, cols = self.weakest_edge_arrays()
+        return list(zip(rows.tolist(), cols.tolist()))
 
     def edges_below(self, threshold: int) -> List[EdgeKey]:
         """Edges with weight strictly less than ``threshold``."""
         if self._n == 1:
             return []
-        upper = np.triu(np.ones((self._n, self._n), dtype=bool), k=1)
-        mask = (self._weights < threshold) & upper
-        return [(int(i), int(j)) for i, j in zip(*np.nonzero(mask))]
+        rows, cols = condensed_indices(self._n)
+        mask = self._condensed < threshold
+        return list(zip(rows[mask].tolist(), cols[mask].tolist()))
 
     # ------------------------------------------------------------------
     # Incremental updates (used by Algorithm 2)
     # ------------------------------------------------------------------
     def with_partition(self, partition: Partition, name: Optional[str] = None) -> "FaultGraph":
-        """Return a new graph with one more machine's partition folded in."""
+        """Return a new graph with one more machine's partition folded in.
+
+        The new graph's weight vector is the parent's plus one vectorised
+        same-block comparison — nothing is rebuilt from the machine list.
+        """
         if partition.num_elements != self._n:
             raise PartitionError(
                 "partition over %d elements does not match %d top states"
                 % (partition.num_elements, self._n)
             )
-        new_weights = self._weights + separation_matrix(partition)
+        rows, cols = condensed_indices(self._n)
+        new_condensed = self._condensed + _condensed_separation(partition, rows, cols)
         return FaultGraph(
             self._n,
             self._partitions + (partition,),
             state_labels=self._labels,
             machine_names=self._names + ((name or "M%d" % self.num_machines),),
-            _weights=new_weights,
+            _condensed=new_condensed,
         )
 
     def dmin_with(self, partition: Partition) -> int:
@@ -278,19 +406,23 @@ class FaultGraph:
         graph object is allocated; Algorithm 2 calls this for every
         candidate in a lower cover.
         """
+        if partition.num_elements != self._n:
+            raise PartitionError(
+                "partition over %d elements does not match %d top states"
+                % (partition.num_elements, self._n)
+            )
         if self._n == 1:
             return self.num_machines + 1
-        combined = self._weights + separation_matrix(partition)
-        off_diagonal = combined[~np.eye(self._n, dtype=bool)]
-        return int(off_diagonal.min())
+        rows, cols = condensed_indices(self._n)
+        return int((self._condensed + _condensed_separation(partition, rows, cols)).min())
 
     def covers(self, partition: Partition, edges: Iterable[EdgeKey]) -> bool:
         """True if ``partition`` separates every edge in ``edges``."""
+        pairs = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if pairs.size == 0:
+            return True
         labels = partition.labels
-        for i, j in edges:
-            if labels[i] == labels[j]:
-                return False
-        return True
+        return bool((labels[pairs[:, 0]] != labels[pairs[:, 1]]).all())
 
     # ------------------------------------------------------------------
     # Export

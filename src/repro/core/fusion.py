@@ -21,20 +21,24 @@ ablation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..utils.timing import Stopwatch
+
 from .dfsm import DFSM
 from .exceptions import FusionError, FusionExistenceError
-from .fault_graph import FaultGraph
+from .fault_graph import FaultGraph, condensed_indices
 from .fault_tolerance import required_dmin
 from .lattice import lower_cover
 from .partition import (
     Partition,
+    closure_of_labels,
     machine_from_partition,
-    merge_blocks_and_close,
     partition_from_machine,
     quotient_table,
 )
@@ -159,13 +163,54 @@ class FusionResult:
         }
 
 
-def _separates_all(labels, edges) -> bool:
-    """True if the block-label vector puts both endpoints of every edge in
-    different blocks (i.e. the machine covers all the given edges)."""
-    for i, j in edges:
-        if labels[i] == labels[j]:
-            return False
-    return True
+#: Upper bound on doomed-pair fixpoint rounds.  The fixpoint is a sound
+#: pruning filter, so stopping early only means a few more candidates go
+#: through the exact closure check; in practice convergence takes a
+#: handful of rounds (the implication depth of the quotient machine).
+_DOOMED_MAX_ROUNDS = 64
+
+#: Rejected candidates tolerated per level before switching from the
+#: optimistic sequential scan to the bulk doomed-pair prune.  Low enough
+#: that failure-dominated levels (protocol mixes) amortise the fixpoint
+#: almost immediately, high enough that success-on-first-pair levels
+#: (counter families) never pay for it.
+_PRUNE_AFTER_FAILURES = 8
+
+
+def _doomed_pairs(
+    quotient: np.ndarray, weak_a: np.ndarray, weak_b: np.ndarray, num_blocks: int
+) -> np.ndarray:
+    """Boolean ``(B, B)`` matrix of block pairs whose merge provably fails.
+
+    Merging blocks ``(a, b)`` forces merging ``(δ(a, e), δ(b, e))`` for
+    every event ``e`` (the substitution property), so the closure of a
+    candidate merge contains every pair *reachable* from it in this
+    pair-implication graph.  Propagating backwards from the weakest-edge
+    pairs therefore marks exactly the candidates whose closure is certain
+    to glue two endpoints of a weakest edge together — candidates that
+    Algorithm 2 would reject after an expensive closure computation.
+
+    The filter is sound but deliberately not complete (a closure can also
+    fail through transitive merges the implication graph alone does not
+    force), so survivors still get the exact check.  In the benchmark
+    workloads the filter eliminates virtually every failing candidate,
+    which is what turns the per-level scan from thousands of Python
+    union-find closures into one NumPy fixpoint.
+    """
+    doomed = np.zeros((num_blocks, num_blocks), dtype=bool)
+    doomed[weak_a, weak_b] = True
+    doomed[weak_b, weak_a] = True
+    if quotient.size == 0:
+        return doomed
+    columns = [np.ascontiguousarray(quotient[:, e]) for e in range(quotient.shape[1])]
+    for _ in range(_DOOMED_MAX_ROUNDS):
+        grown = doomed
+        for column in columns:
+            grown = grown | doomed[column[:, None], column]
+        if np.array_equal(grown, doomed):
+            break
+        doomed = grown
+    return doomed
 
 
 def _descend(
@@ -173,6 +218,7 @@ def _descend(
     graph: FaultGraph,
     strategy: DescentStrategy,
     max_descent: Optional[int] = None,
+    stopwatch=None,
 ) -> Partition:
     """Inner loop of Algorithm 2: walk down the lattice from the top.
 
@@ -185,50 +231,111 @@ def _descend(
 
     Candidates at each level are the closures of merging two blocks of the
     current partition — exactly the construction behind the lower cover
-    (Definition 2).  With the default ``"first"`` strategy the walk takes
-    the first qualifying candidate and moves on without materialising the
-    rest, which matches the paper's nondeterministic ``∃F ∈ C`` choice
-    while keeping each level ``O(blocks² · blocks · |events|)`` in the
-    worst case and far cheaper in practice.  If *no* candidate qualifies,
-    no closed partition strictly below the current one covers the weakest
-    edges either (any such partition is refined by one of the candidates),
-    so stopping here preserves the minimality argument of Theorem 5.
+    (Definition 2), enumerated in lexicographic pair order.  Each level is
+    evaluated in three vectorised stages:
 
-    The descent never needs the full top-state-space partition until the
-    end: it works on quotient transition tables whose size shrinks at
-    every step.
+    1. the weakest edges are projected into the quotient's block space
+       (one fancy-indexing pass);
+    2. pairs are scanned optimistically in lexicographic order — on
+       workloads where an early candidate qualifies (the counter
+       families) this is all that ever runs;
+    3. after :data:`_PRUNE_AFTER_FAILURES` rejected candidates the
+       :func:`_doomed_pairs` fixpoint prunes, in bulk, every remaining
+       pair whose closure provably re-merges a weakest edge, and only
+       the survivors are closed (NumPy fixpoint closure on the quotient
+       table) and checked with a vectorised label comparison.
+
+    The default ``"first"`` strategy stops at the first qualifying
+    candidate — the paper's nondeterministic ``∃F ∈ C`` choice resolved
+    deterministically, and byte-identical to scanning all pairs because
+    pruned pairs can never qualify.
+
+    If *no* candidate qualifies, no closed partition strictly below the
+    current one covers the weakest edges either (any such partition is
+    refined by one of the candidates), so stopping here preserves the
+    minimality argument of Theorem 5.  The descent never needs the full
+    top-state-space partition until the end: it works on quotient
+    transition tables whose size shrinks at every step.
     """
-    from itertools import combinations
-
-    weakest = graph.weakest_edges()
+    weak_rows, weak_cols = graph.weakest_edge_arrays()
     current = Partition.identity(top.num_states)
     steps = 0
+    measure = stopwatch.measure if stopwatch is not None else None
     while current.num_blocks > 1:
         if max_descent is not None and steps >= max_descent:
             break
         quotient = quotient_table(top, current)
         base_labels = current.labels
+        num_blocks = current.num_blocks
+        # Weakest edges in the quotient's block space.  The current
+        # partition always separates them (level 0 is the identity and
+        # every chosen candidate separates them by construction).
+        weak_a = base_labels[weak_rows]
+        weak_b = base_labels[weak_cols]
+        pair_rows, pair_cols = condensed_indices(num_blocks)
+        num_pairs = pair_rows.size
+        first_mode = strategy is _first_candidate
         chosen: Optional[Partition] = None
-        if strategy is _first_candidate:
-            for block_a, block_b in combinations(range(current.num_blocks), 2):
-                closed_blocks = merge_blocks_and_close(quotient, block_a, block_b)
-                pulled = closed_blocks[base_labels]
-                if _separates_all(pulled, weakest):
-                    chosen = Partition(pulled)
+        improving: List[Partition] = []
+        seen = set()
+
+        merge_seed = np.arange(num_blocks, dtype=np.int64)
+        weak_pair = (weak_a, weak_b)
+
+        def evaluate(index: int) -> bool:
+            """Close pair ``index``; True iff it qualifies (covers all weakest).
+
+            The closure aborts (returning ``None``) the moment it merges a
+            weakest pair, so rejected candidates cost one or two fixpoint
+            rounds instead of a full closure.
+            """
+            merge_seed[pair_cols[index]] = pair_rows[index]
+            if measure is not None:
+                with measure("closure"):
+                    closed_blocks = closure_of_labels(
+                        quotient, merge_seed, stop_if_merges=weak_pair
+                    )
+            else:
+                closed_blocks = closure_of_labels(
+                    quotient, merge_seed, stop_if_merges=weak_pair
+                )
+            merge_seed[pair_cols[index]] = pair_cols[index]
+            if closed_blocks is None:
+                return False
+            candidate = Partition(closed_blocks[base_labels])
+            if first_mode:
+                nonlocal chosen
+                chosen = candidate
+            elif candidate not in seen:
+                seen.add(candidate)
+                improving.append(candidate)
+            return True
+
+        # Optimistic sequential scan; bail into the bulk prune once the
+        # level shows it is failure-dominated.
+        failures = 0
+        index = 0
+        while index < num_pairs and failures < _PRUNE_AFTER_FAILURES:
+            qualified = evaluate(index)
+            if qualified and first_mode:
+                break
+            if not qualified:
+                failures += 1
+            index += 1
+        if chosen is None and index < num_pairs:
+            if measure is not None:
+                with measure("prune"):
+                    doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
+            else:
+                doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
+            remaining = index + np.nonzero(
+                ~doomed[pair_rows[index:], pair_cols[index:]]
+            )[0]
+            for survivor in remaining.tolist():
+                if evaluate(survivor) and first_mode:
                     break
-        else:
-            improving: List[Partition] = []
-            seen = set()
-            for block_a, block_b in combinations(range(current.num_blocks), 2):
-                closed_blocks = merge_blocks_and_close(quotient, block_a, block_b)
-                pulled = closed_blocks[base_labels]
-                if _separates_all(pulled, weakest):
-                    candidate = Partition(pulled)
-                    if candidate not in seen:
-                        seen.add(candidate)
-                        improving.append(candidate)
-            if improving:
-                chosen = strategy(graph, improving)
+        if chosen is None and improving:
+            chosen = strategy(graph, improving)
         if chosen is None:
             break
         current = chosen
@@ -246,6 +353,7 @@ def generate_fusion(
     strategy: str | DescentStrategy = "first",
     name_prefix: str = "F",
     product: Optional[CrossProduct] = None,
+    stopwatch: Optional["Stopwatch"] = None,
 ) -> FusionResult:
     """Algorithm 2 — generate backup machines tolerating ``f`` faults.
 
@@ -273,6 +381,11 @@ def generate_fusion(
         Backup machines are named ``F1, F2, ..`` with this prefix.
     product:
         Pre-computed cross product of ``machines`` to reuse.
+    stopwatch:
+        Optional :class:`repro.utils.timing.Stopwatch`; when given, the
+        stages ``product_build``, ``graph_build``, ``descent``, ``prune``
+        and ``closure`` are accumulated into it (the per-stage breakdown
+        ``benchmarks/bench_perf_regression.py`` reports).
 
     Returns
     -------
@@ -303,13 +416,18 @@ def generate_fusion(
     target_dmin = required_dmin(f, byzantine=byzantine)
     crash_equivalent_f = target_dmin - 1
 
+    measure = stopwatch.measure if stopwatch is not None else nullcontext
     if product is None:
-        product = CrossProduct(machines)
+        with measure("product_build"):
+            product = CrossProduct(machines)
     top = product.machine
 
-    graph = FaultGraph.from_cross_product(product)
-    for backup in existing_backups:
-        graph = graph.with_partition(partition_from_machine(top, backup), name=backup.name)
+    with measure("graph_build"):
+        graph = FaultGraph.from_cross_product(product)
+        for backup in existing_backups:
+            graph = graph.with_partition(
+                partition_from_machine(top, backup), name=backup.name
+            )
     initial_dmin = graph.dmin()
 
     needed = max(0, target_dmin - initial_dmin)
@@ -323,7 +441,8 @@ def generate_fusion(
     new_partitions: List[Partition] = []
     new_machines: List[DFSM] = []
     while graph.dmin() <= crash_equivalent_f:
-        chosen = _descend(top, graph, strategy_fn)
+        with measure("descent"):
+            chosen = _descend(top, graph, strategy_fn, stopwatch=stopwatch)
         index = len(existing_backups) + len(new_machines) + 1
         name = "%s%d" % (name_prefix, index)
         machine = machine_from_partition(top, chosen, name=name)

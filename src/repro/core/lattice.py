@@ -42,7 +42,13 @@ __all__ = [
 
 
 def _maximal_partitions(candidates: Iterable[Partition]) -> List[Partition]:
-    """Filter a collection of partitions down to its maximal elements."""
+    """Filter a collection of partitions down to its maximal elements.
+
+    ``p < q`` requires ``q`` to refine ``p`` strictly, which is impossible
+    unless ``q`` has strictly more blocks, so dominance checks are limited
+    to candidates with larger block counts — this skips the (vectorised,
+    but still O(n)) refinement test for the vast majority of pairs.
+    """
     unique: List[Partition] = []
     seen: Set[Partition] = set()
     for p in candidates:
@@ -51,11 +57,9 @@ def _maximal_partitions(candidates: Iterable[Partition]) -> List[Partition]:
             unique.append(p)
     maximal: List[Partition] = []
     for p in unique:
-        dominated = False
-        for q in unique:
-            if p is not q and p < q:
-                dominated = True
-                break
+        dominated = any(
+            q.num_blocks > p.num_blocks and p < q for q in unique
+        )
         if not dominated:
             maximal.append(p)
     return maximal

@@ -28,6 +28,7 @@ import numpy as np
 
 from .dfsm import DFSM
 from .exceptions import InvalidMachineError
+from .partition import renumber_by_first_appearance
 from .types import EventLabel, StateLabel
 
 __all__ = [
@@ -115,18 +116,16 @@ def minimize(machine: DFSM, outputs: OutputMap, name: Optional[str] = None) -> D
     n = machine.num_states
     labels = _labels_from_groups(output_partition(machine, outputs), n)
     table = machine.transition_table
-    num_events = machine.num_events
 
     while True:
-        # Signature of a state: (its block, blocks of its successors).
-        signatures: Dict[Tuple[int, ...], int] = {}
-        new_labels = np.empty(n, dtype=np.int64)
-        for state in range(n):
-            signature = (int(labels[state]),) + tuple(
-                int(labels[int(table[state, ei])]) for ei in range(num_events)
-            )
-            block = signatures.setdefault(signature, len(signatures))
-            new_labels[state] = block
+        # Signature of a state: (its block, blocks of its successors),
+        # deduplicated in one vectorised row-unique pass and renumbered in
+        # order of first appearance (matching the classical construction).
+        signatures = np.concatenate([labels[:, None], labels[table]], axis=1)
+        _, first, inverse = np.unique(
+            signatures, axis=0, return_index=True, return_inverse=True
+        )
+        new_labels = renumber_by_first_appearance(first, inverse)
         if int(new_labels.max()) + 1 == int(labels.max()) + 1:
             labels = new_labels
             break

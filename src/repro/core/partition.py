@@ -36,6 +36,7 @@ from .types import StateLabel
 __all__ = [
     "Partition",
     "closed_coarsening",
+    "closure_of_labels",
     "quotient_table",
     "merge_blocks_and_close",
     "is_closed_partition",
@@ -46,17 +47,29 @@ __all__ = [
 ]
 
 
+def renumber_by_first_appearance(first: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Turn ``np.unique``'s ``(return_index, return_inverse)`` output into
+    labels numbered 0..k-1 in order of first appearance (the canonical
+    numbering a sequential dict-based pass would produce)."""
+    inverse = inverse.ravel()
+    remap = np.empty(first.size, dtype=np.int64)
+    remap[np.argsort(first, kind="stable")] = np.arange(first.size, dtype=np.int64)
+    return remap[inverse]
+
+
 def _canonicalise(labels: np.ndarray) -> np.ndarray:
-    """Relabel blocks as 0..k-1 in order of first appearance."""
-    out = np.empty_like(labels)
-    mapping: Dict[int, int] = {}
-    for i, lab in enumerate(labels.tolist()):
-        new = mapping.get(lab)
-        if new is None:
-            new = len(mapping)
-            mapping[lab] = new
-        out[i] = new
-    return out
+    """Relabel blocks as 0..k-1 in order of first appearance (vectorised)."""
+    _, first, inverse = np.unique(labels, return_index=True, return_inverse=True)
+    return renumber_by_first_appearance(first, inverse)
+
+
+def _first_of_each_block(labels: np.ndarray) -> np.ndarray:
+    """Index of the first member of each block of a *canonical* label vector.
+
+    Because canonical labels are ``0..k-1`` in order of first appearance,
+    ``np.unique``'s first-occurrence indices line up with the block ids.
+    """
+    return np.unique(labels, return_index=True)[1]
 
 
 class Partition:
@@ -195,15 +208,10 @@ class Partition:
         self._check_compatible(other)
         # self refines other iff elements with equal self-label always
         # have equal other-label, i.e. the map self-label -> other-label
-        # is a function.
-        seen: Dict[int, int] = {}
-        for mine, theirs in zip(self._labels.tolist(), other._labels.tolist()):
-            prev = seen.get(mine)
-            if prev is None:
-                seen[mine] = theirs
-            elif prev != theirs:
-                return False
-        return True
+        # is a function.  Compare every element against the first member
+        # of its own block, all at once.
+        first = _first_of_each_block(self._labels)
+        return bool(np.array_equal(other._labels[first][self._labels], other._labels))
 
     def is_coarsening_of(self, other: "Partition") -> bool:
         """True if *self* is coarser than (or equal to) ``other``."""
@@ -249,12 +257,37 @@ class Partition:
     def meet(self, other: "Partition") -> "Partition":
         """Greatest lower bound: finest partition coarser than both.
 
-        Computed as the transitive closure of the union of the two
-        equivalence relations (union-find).  Again closed for closed
-        operands.
+        Computed as the connected components of the union of the two
+        equivalence relations, by alternating group-minimum smoothing:
+        every element repeatedly takes the smallest component id seen in
+        its block under either operand until a fixpoint.  The fixpoint is
+        constant on each block of both operands, hence on every connected
+        component, so it equals the classical union-find answer.  Again
+        closed for closed operands.
+
+        Minimum ids travel one block-hop per sweep, so chain-structured
+        overlaps could need O(n) sweeps; after a bounded number of sweeps
+        the remaining components are finished off with scalar union-find,
+        keeping the worst case near-linear while the common case stays a
+        few vectorised passes.
         """
         self._check_compatible(other)
         n = self.num_elements
+        max_sweeps = 16
+        component = np.arange(n, dtype=np.int64)
+        for _ in range(max_sweeps):
+            changed = False
+            for partition in (self, other):
+                labels = partition._labels
+                mins = np.full(partition._num_blocks, n, dtype=np.int64)
+                np.minimum.at(mins, labels, component)
+                smoothed = mins[labels]
+                if not np.array_equal(smoothed, component):
+                    component = smoothed
+                    changed = True
+            if not changed:
+                return Partition(component)
+        # Deep chain: fall back to scalar union-find (near-linear, exact).
         parent = list(range(n))
 
         def find(x: int) -> int:
@@ -263,16 +296,13 @@ class Partition:
                 x = parent[x]
             return x
 
-        def union(a: int, b: int) -> None:
-            ra, rb = find(a), find(b)
-            if ra != rb:
-                parent[rb] = ra
-
-        for partition in (self, other):
+        for labels in (self._labels, other._labels):
             first_of_block: Dict[int, int] = {}
-            for element, label in enumerate(partition._labels.tolist()):
+            for element, label in enumerate(labels.tolist()):
                 if label in first_of_block:
-                    union(first_of_block[label], element)
+                    ra, rb = find(first_of_block[label]), find(element)
+                    if ra != rb:
+                        parent[rb] = ra
                 else:
                     first_of_block[label] = element
         return Partition([find(i) for i in range(n)])
@@ -300,26 +330,31 @@ def is_closed_partition(machine: DFSM, partition: Partition) -> bool:
             "partition has %d elements but machine %s has %d states"
             % (partition.num_elements, machine.name, machine.num_states)
         )
+    if machine.num_events == 0:
+        return True
     labels = partition.labels
-    table = machine.transition_table
-    for ei in range(machine.num_events):
-        successor_labels = labels[table[:, ei]]
-        # Within each source block all successor labels must agree.
-        for block in range(partition.num_blocks):
-            members = labels == block
-            block_successors = successor_labels[members]
-            if block_successors.size and not np.all(block_successors == block_successors[0]):
-                return False
-    return True
+    successors = labels[machine.transition_table]  # (n, E)
+    # Within each source block all successor labels must agree: compare
+    # every state's successors with its block representative's, at once.
+    first = _first_of_each_block(labels)
+    return bool(np.array_equal(successors[first][labels], successors))
 
 
-def _closure_labels(table: np.ndarray, seed_pairs: Iterable[Tuple[int, int]], n: int) -> np.ndarray:
-    """Union-find closure: smallest SP coarsening forced by ``seed_pairs``.
+#: Below this many table cells the scalar worklist closure beats the
+#: vectorised fixpoint (NumPy per-call overhead dominates tiny inputs).
+_SCALAR_CLOSURE_CUTOFF = 96
 
-    Implements the classical pair-propagation construction: whenever two
-    states are identified, their successors under every event are
-    identified as well.  Each union retires one equivalence class, so the
-    total work is ``O(n · |events| · alpha)``.
+
+def _closure_labels_scalar(
+    table: np.ndarray, seed_pairs: Iterable[Tuple[int, int]], n: int
+) -> np.ndarray:
+    """Reference union-find closure (pair propagation on a worklist).
+
+    Implements the classical construction: whenever two states are
+    identified, their successors under every event are identified as
+    well.  Each union retires one equivalence class, so the total work is
+    ``O(n · |events| · alpha)``.  Kept as the small-input fast path and as
+    the reference implementation the property tests compare against.
     """
     parent = list(range(n))
 
@@ -342,6 +377,94 @@ def _closure_labels(table: np.ndarray, seed_pairs: Iterable[Tuple[int, int]], n:
     return np.asarray([find(i) for i in range(n)], dtype=np.int64)
 
 
+def _merge_label_pairs(labels: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Merge the blocks named by the pairs ``(u[i], v[i])`` of a canonical
+    label vector, returning a new canonical vector."""
+    num_blocks = int(labels.max()) + 1
+    keys = np.unique(u * num_blocks + v)
+    parent = list(range(num_blocks))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for key in keys.tolist():
+        ra, rb = find(key // num_blocks), find(key % num_blocks)
+        if ra != rb:
+            parent[rb] = ra
+    roots = np.asarray([find(g) for g in range(num_blocks)], dtype=np.int64)
+    return _canonicalise(roots[labels])
+
+
+def closure_of_labels(
+    table: np.ndarray,
+    labels: np.ndarray,
+    stop_if_merges: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Optional[np.ndarray]:
+    """Vectorised SP closure: coarsen ``labels`` until it is closed.
+
+    Repeatedly compares, for every event at once, each state's successor
+    block with the successor block of its own block's representative and
+    merges every disagreeing pair of blocks, until no event splits a
+    block.  Each round is a handful of NumPy operations over the whole
+    ``(n, |events|)`` table and every round retires at least one block, so
+    the loop terminates after at most ``n`` rounds (in practice after the
+    propagation depth of the machine, which is small).
+
+    Returns the canonical label vector of the finest closed partition
+    coarser than (i.e. below, in the paper's order) ``labels``.
+
+    ``stop_if_merges`` is an optional pair of parallel index arrays; if at
+    any round the evolving partition merges one of those element pairs,
+    ``None`` is returned immediately.  Merges only ever accumulate, so
+    this is exactly "the finished closure would merge them too" — it lets
+    Algorithm 2 abandon doomed merge candidates after the first round
+    that glues a weakest edge together instead of closing them fully.
+    """
+    labels = _canonicalise(np.asarray(labels, dtype=np.int64))
+    if stop_if_merges is not None:
+        forbid_a, forbid_b = stop_if_merges
+        if forbid_a.size and (labels[forbid_a] == labels[forbid_b]).any():
+            return None
+    if table.size == 0:
+        return labels
+    while True:
+        successors = labels[table]  # (n, E) successor block per state/event
+        first = _first_of_each_block(labels)
+        reference = successors[first][labels]  # block representative's successors
+        disagree = reference != successors
+        if not disagree.any():
+            return labels
+        labels = _merge_label_pairs(labels, successors[disagree], reference[disagree])
+        if stop_if_merges is not None and forbid_a.size and (
+            labels[forbid_a] == labels[forbid_b]
+        ).any():
+            return None
+
+
+def _closure_labels(
+    table: np.ndarray, seed_pairs: Iterable[Tuple[int, int]], n: int
+) -> np.ndarray:
+    """Smallest SP coarsening of the identity forced by ``seed_pairs``.
+
+    Dispatches between the scalar worklist (tiny tables) and the
+    vectorised fixpoint (everything else); both compute the identical
+    partition, differing only in label numbering, which every caller
+    canonicalises away.
+    """
+    table = np.asarray(table)
+    if table.size <= _SCALAR_CLOSURE_CUTOFF:
+        return _closure_labels_scalar(table, seed_pairs, n)
+    labels = np.arange(n, dtype=np.int64)
+    seeds = np.asarray(list(seed_pairs), dtype=np.int64).reshape(-1, 2)
+    if seeds.size == 0:
+        return labels
+    labels = _merge_label_pairs(labels, seeds[:, 0], seeds[:, 1])
+    return closure_of_labels(table, labels)
+
+
 def closed_coarsening(machine: DFSM, partition: Partition) -> Partition:
     """Largest closed partition less than or equal to ``partition``.
 
@@ -357,17 +480,9 @@ def closed_coarsening(machine: DFSM, partition: Partition) -> Partition:
             "partition has %d elements but machine %s has %d states"
             % (partition.num_elements, machine.name, machine.num_states)
         )
-    n = machine.num_states
-    # Seed the closure with "element ~ first element of its block" pairs;
-    # the pair-propagation closure then enforces the substitution property.
-    first_of_block: Dict[int, int] = {}
-    seeds: List[Tuple[int, int]] = []
-    for element, label in enumerate(partition.labels.tolist()):
-        if label in first_of_block:
-            seeds.append((first_of_block[label], element))
-        else:
-            first_of_block[label] = element
-    return Partition(_closure_labels(machine.transition_table, seeds, n))
+    # The input grouping is already an equivalence; the vectorised fixpoint
+    # coarsens it directly until the substitution property holds.
+    return Partition(closure_of_labels(machine.transition_table, partition.labels))
 
 
 def quotient_table(machine: DFSM, partition: Partition) -> np.ndarray:
@@ -378,15 +493,8 @@ def quotient_table(machine: DFSM, partition: Partition) -> np.ndarray:
     the (small) quotient instead of the full top machine.
     """
     labels = partition.labels
-    table = machine.transition_table
-    num_blocks = partition.num_blocks
-    representatives = np.empty(num_blocks, dtype=np.int64)
-    seen = set()
-    for state, label in enumerate(labels.tolist()):
-        if label not in seen:
-            representatives[label] = state
-            seen.add(label)
-    return labels[table[representatives, :]]
+    representatives = _first_of_each_block(labels)
+    return labels[machine.transition_table[representatives, :]]
 
 
 def merge_blocks_and_close(

@@ -16,13 +16,16 @@ NumPy arrays, which is what the fault-graph and fusion algorithms consume.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .dfsm import DFSM
 from .exceptions import InvalidMachineError, UnknownStateError
 from .types import EventLabel, StateLabel, StateTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .partition import Partition
 
 __all__ = ["CrossProduct", "reachable_cross_product", "merged_alphabet"]
 
@@ -61,7 +64,14 @@ class CrossProduct:
         Display name for the product machine (defaults to ``"top"``).
     """
 
-    __slots__ = ("_components", "_machine", "_projections", "_tuples", "_tuple_index")
+    __slots__ = (
+        "_components",
+        "_machine",
+        "_projections",
+        "_tuples",
+        "_tuple_index",
+        "_component_partitions",
+    )
 
     def __init__(self, machines: Sequence[DFSM], name: str = "top") -> None:
         if not machines:
@@ -126,11 +136,10 @@ class CrossProduct:
         self._machine = DFSM(self._tuples, events, transitions, self._tuples[0], name=name)
 
         # Projections: top-state index -> component-state index.
-        projections = np.empty((len(self._components), n), dtype=np.int64)
-        for ci in range(len(self._components)):
-            projections[ci, :] = [order[ti][ci] for ti in range(n)]
+        projections = np.asarray(order, dtype=np.int64).T.copy()
         projections.setflags(write=False)
         self._projections = projections
+        self._component_partitions: Optional[Tuple["Partition", ...]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -192,6 +201,21 @@ class CrossProduct:
     def projections(self) -> np.ndarray:
         """All projections as a ``(num_components, |top|)`` array."""
         return self._projections
+
+    def component_partitions(self) -> Tuple["Partition", ...]:
+        """The closed partitions induced by the components, cached.
+
+        Fault-graph construction consumes these on every fusion call;
+        building (and canonicalising) the :class:`Partition` objects once
+        per product lets repeated calls reuse them.
+        """
+        if self._component_partitions is None:
+            from .partition import Partition
+
+            self._component_partitions = tuple(
+                Partition(self._projections[ci]) for ci in range(len(self._components))
+            )
+        return self._component_partitions
 
     def project_state(self, top_state: StateTuple, component: int) -> StateLabel:
         """Label of the component state that ``top_state`` projects to."""

@@ -51,6 +51,22 @@ class Stopwatch:
             raise KeyError("no measurements named %r" % name)
         return self._totals[name] / self._counts[name]
 
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally-measured duration into the named bucket."""
+        self._totals[name] = self._totals.get(name, 0.0) + float(seconds)
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Machine-readable snapshot: ``{name: {"seconds", "count"}}``.
+
+        This is the per-stage format ``BENCH_perf.json`` stores, so
+        benchmark trajectories stay diffable across PRs.
+        """
+        return {
+            name: {"seconds": self._totals[name], "count": self._counts.get(name, 0)}
+            for name in self._totals
+        }
+
 
 @contextmanager
 def timed() -> Iterator[Callable[[], float]]:

@@ -1,0 +1,209 @@
+"""Property tests: the vectorised fast paths agree with reference code.
+
+The performance core (vectorised SP closure, ``refines``/``meet``,
+condensed fault-graph ``dmin``/``weakest_edges``, the doomed-pair pruning
+filter) re-implements operations that have short, obviously-correct
+formulations.  These tests pit each fast path against such a reference on
+random machines and partitions, so any future optimisation that drifts
+semantically fails here first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaultGraph, Partition
+from repro.core.fault_graph import condensed_indices, separation_matrix
+from repro.core.fusion import _doomed_pairs
+from repro.core.partition import (
+    _closure_labels_scalar,
+    closed_coarsening,
+    closure_of_labels,
+    is_closed_partition,
+    quotient_table,
+)
+
+from .strategies import dfsm_strategy, partition_strategy
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (straightforward, unvectorised)
+# ----------------------------------------------------------------------
+def ref_refines(fine: Partition, coarse: Partition) -> bool:
+    seen = {}
+    for mine, theirs in zip(fine.labels.tolist(), coarse.labels.tolist()):
+        if mine in seen and seen[mine] != theirs:
+            return False
+        seen[mine] = theirs
+    return True
+
+
+def ref_meet(first: Partition, second: Partition) -> Partition:
+    parent = list(range(first.num_elements))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for partition in (first, second):
+        firsts = {}
+        for element, label in enumerate(partition.labels.tolist()):
+            if label in firsts:
+                parent[find(element)] = find(firsts[label])
+            else:
+                firsts[label] = element
+    return Partition([find(i) for i in range(first.num_elements)])
+
+
+def ref_dmin(graph: FaultGraph) -> int:
+    if graph.num_states == 1:
+        return graph.num_machines
+    weights = np.zeros((graph.num_states, graph.num_states), dtype=np.int64)
+    for partition in graph.partitions:
+        weights += separation_matrix(partition)
+    return int(weights[~np.eye(graph.num_states, dtype=bool)].min())
+
+
+def ref_weakest_edges(graph: FaultGraph):
+    if graph.num_states == 1:
+        return []
+    d = ref_dmin(graph)
+    dense = graph.weight_matrix
+    out = []
+    for i in range(graph.num_states):
+        for j in range(i + 1, graph.num_states):
+            if dense[i, j] == d:
+                out.append((i, j))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def machine_and_partition(draw, max_states=6, num_events=2):
+    machine = draw(dfsm_strategy(max_states=max_states, num_events=num_events))
+    partition = draw(partition_strategy(machine.num_states))
+    return machine, partition
+
+
+@st.composite
+def machine_partition_strategy(draw):
+    return machine_and_partition(draw)
+
+
+@st.composite
+def graph_strategy(draw, max_states=5, max_machines=3):
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    count = draw(st.integers(min_value=1, max_value=max_machines))
+    partitions = [draw(partition_strategy(n)) for _ in range(count)]
+    return FaultGraph(n, partitions)
+
+
+# ----------------------------------------------------------------------
+# Partition lattice operations
+# ----------------------------------------------------------------------
+class TestPartitionOperations:
+    @given(
+        st.integers(min_value=1, max_value=7).flatmap(
+            lambda n: st.tuples(partition_strategy(n), partition_strategy(n))
+        )
+    )
+    def test_refines_matches_reference(self, pair):
+        fine, coarse = pair
+        assert fine.refines(coarse) == ref_refines(fine, coarse)
+        assert coarse.refines(fine) == ref_refines(coarse, fine)
+
+    @given(
+        st.integers(min_value=1, max_value=7).flatmap(
+            lambda n: st.tuples(partition_strategy(n), partition_strategy(n))
+        )
+    )
+    def test_meet_matches_reference(self, pair):
+        first, second = pair
+        meet = first.meet(second)
+        assert meet == ref_meet(first, second)
+        # Definitional sanity: the meet is below both operands.
+        assert meet <= first and meet <= second
+
+    @given(machine_partition_strategy())
+    def test_closure_matches_scalar_reference(self, pair):
+        machine, partition = pair
+        table = machine.transition_table
+        n = machine.num_states
+        seeds = []
+        firsts = {}
+        for element, label in enumerate(partition.labels.tolist()):
+            if label in firsts:
+                seeds.append((firsts[label], element))
+            else:
+                firsts[label] = element
+        reference = Partition(_closure_labels_scalar(table, seeds, n))
+        fast = Partition(closure_of_labels(table, partition.labels))
+        assert fast == reference
+        assert fast == closed_coarsening(machine, partition)
+        assert is_closed_partition(machine, fast)
+
+
+# ----------------------------------------------------------------------
+# Fault graph caches
+# ----------------------------------------------------------------------
+class TestFaultGraphCaches:
+    @given(graph_strategy())
+    def test_dmin_matches_dense_reference(self, graph):
+        assert graph.dmin() == ref_dmin(graph)
+
+    @given(graph_strategy())
+    def test_weakest_edges_match_dense_reference(self, graph):
+        assert graph.weakest_edges() == ref_weakest_edges(graph)
+
+    @given(graph_strategy(), st.data())
+    def test_with_partition_matches_fresh_build(self, graph, data):
+        extra = data.draw(partition_strategy(graph.num_states))
+        incremental = graph.with_partition(extra)
+        fresh = FaultGraph(graph.num_states, list(graph.partitions) + [extra])
+        assert np.array_equal(incremental.condensed_weights, fresh.condensed_weights)
+        assert incremental.dmin() == fresh.dmin() == graph.dmin_with(extra)
+
+    @given(graph_strategy())
+    def test_condensed_layout_matches_matrix(self, graph):
+        rows, cols = condensed_indices(graph.num_states)
+        assert np.array_equal(
+            graph.condensed_weights, graph.weight_matrix[rows, cols]
+        )
+
+
+# ----------------------------------------------------------------------
+# Descent pruning filter
+# ----------------------------------------------------------------------
+class TestDoomedPairsSoundness:
+    @settings(max_examples=60)
+    @given(dfsm_strategy(max_states=6, num_events=2), st.data())
+    def test_doomed_pairs_never_prune_a_qualifying_candidate(self, machine, data):
+        """Soundness: a pair marked doomed must really fail the weakest check."""
+        n = machine.num_states
+        if n < 2:
+            return
+        partition = Partition.identity(n)
+        quotient = quotient_table(machine, partition)
+        # Random "weakest edges" among distinct state pairs.
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(
+            st.lists(st.sampled_from(pairs), min_size=1, max_size=len(pairs))
+        )
+        weak_a = np.asarray([p[0] for p in chosen], dtype=np.int64)
+        weak_b = np.asarray([p[1] for p in chosen], dtype=np.int64)
+        doomed = _doomed_pairs(quotient, weak_a, weak_b, n)
+        for a in range(n):
+            for b in range(a + 1, n):
+                seed = np.arange(n, dtype=np.int64)
+                seed[b] = a
+                closed = closure_of_labels(quotient, seed)
+                separates = bool((closed[weak_a] != closed[weak_b]).all())
+                if doomed[a, b]:
+                    assert not separates, (
+                        "pair (%d, %d) was pruned but separates all weakest edges" % (a, b)
+                    )

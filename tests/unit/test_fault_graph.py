@@ -157,3 +157,54 @@ class TestFaultGraphApi:
     def test_module_level_helpers(self, fig2_machines_pair, fig2_top):
         assert dmin_of_machines(fig2_top, fig2_machines_pair) == 1
         assert build_fault_graph(fig2_top, fig2_machines_pair).dmin() == 1
+
+    def test_condensed_weights_match_dense_matrix(self, fig2_fault_graph):
+        rows, cols = np.triu_indices(fig2_fault_graph.num_states, k=1)
+        assert np.array_equal(
+            fig2_fault_graph.condensed_weights,
+            fig2_fault_graph.weight_matrix[rows, cols],
+        )
+
+    def test_weakest_edge_arrays_match_list(self, fig2_fault_graph):
+        rows, cols = fig2_fault_graph.weakest_edge_arrays()
+        assert list(zip(rows.tolist(), cols.tolist())) == fig2_fault_graph.weakest_edges()
+
+
+class TestResolveAmbiguity:
+    """Regression tests: integer state labels must win over raw indices.
+
+    Previously an integer that was a valid index but *not* a label was
+    silently resolved as an index even on graphs whose labels are
+    integers, so e.g. ``distance(1, ...)`` on a graph labelled
+    ``(5, 7, 9)`` quietly addressed the state labelled 7.
+    """
+
+    def _graph(self, labels):
+        return FaultGraph(3, [Partition.identity(3)], state_labels=labels)
+
+    def test_integer_label_resolves_as_label_not_index(self):
+        # Labels are a permutation of indices: label lookup must win.
+        graph = self._graph((2, 0, 1))
+        assert graph._resolve(2) == 0
+        assert graph._resolve(0) == 1
+        assert graph._resolve(1) == 2
+
+    def test_non_label_integer_on_integer_labelled_graph_raises(self):
+        graph = self._graph((5, 7, 9))
+        assert graph.distance(5, 7) == 1  # labels resolve fine
+        with pytest.raises(PartitionError):
+            graph.distance(0, 5)  # 0 is a valid index but not a label
+
+    def test_index_addressing_still_works_without_integer_labels(self):
+        graph = self._graph(("x", "y", "z"))
+        assert graph.distance(0, 1) == graph.distance("x", "y")
+
+    def test_out_of_range_index_raises(self):
+        graph = self._graph(("x", "y", "z"))
+        with pytest.raises(PartitionError):
+            graph.distance(0, 3)
+
+    def test_unhashable_state_raises_cleanly(self):
+        graph = self._graph(("x", "y", "z"))
+        with pytest.raises(PartitionError):
+            graph.distance(["x"], "y")
