@@ -1,11 +1,13 @@
 """Perf-regression harness: per-stage timings with a persisted baseline.
 
 Runs Algorithm 2 over the runtime-study workloads (plus the larger
-``counters-6`` case the vectorised engine unlocked), records wall-clock
-and per-stage timings (product build, graph build, descent, candidate
-pruning, closure) through :class:`repro.utils.timing.Stopwatch`, and
-emits a machine-readable ``BENCH_perf.json`` at the repository root so
-subsequent PRs have a trajectory to beat:
+``counters-6`` case the vectorised engine unlocked and the
+``counters-9`` case, ``|top| = 19683``, the sparse engine unlocked),
+records wall-clock and per-stage timings (product build, graph build,
+descent, candidate pruning, closure) through
+:class:`repro.utils.timing.Stopwatch`, and emits a machine-readable
+``BENCH_perf.json`` at the repository root so subsequent PRs have a
+trajectory to beat:
 
     PYTHONPATH=src python benchmarks/bench_perf_regression.py
 
@@ -16,6 +18,14 @@ sizes, dmin) every optimisation must reproduce byte-for-byte.  The pytest
 entry points assert the semantic half strictly and the timing half with
 generous absolute guards, so CI catches real regressions without being
 flaky on slow runners.
+
+``counters-9 (top=19683)`` is infeasible on both earlier engines: the
+seed engine extrapolates to hours, and the dense vectorised engine needs
+~14 GB for the condensed pair vector and the ``(B, B)`` pruning matrix
+(``counters-8``, a ninth the pair count, already took 36 s / 1.6 GB on
+the reference container).  Its ``pre_pr_seconds`` is therefore ``None``
+(no feasible pre-PR measurement exists) and the case carries the runtime
+study's strict 60 s bound instead of a relative speedup.
 """
 
 from __future__ import annotations
@@ -41,6 +51,16 @@ if _BENCH_DIR not in sys.path:
 
 from bench_runtime import GENERATION_CASES
 
+from repro.machines import mod_counter
+
+
+def _counters_family(size: int):
+    """The shared-alphabet mod-3 counter family with ``size`` machines."""
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_perf.json"
 )
@@ -55,6 +75,9 @@ PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
     "counters-5 (top=243)": 0.0162,
     "mesi+counters+shift (top~252)": 0.821,
     "counters-6 (top=729)": 0.0828,
+    # No feasible pre-PR (dense-engine) measurement exists for the
+    # sparse-engine flagship case; see the module docstring.
+    "counters-9 (top=19683)": None,
 }
 
 #: Semantic outputs every engine change must preserve exactly.
@@ -84,13 +107,20 @@ EXPECTED_SUMMARIES: Dict[str, Dict[str, object]] = {
         "num_backups": 1, "backup_sizes": [3], "fusion_state_space": 3,
         "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
     },
+    "counters-9 (top=19683)": {
+        "originals": ["c%d" % e for e in range(9)], "f": 1, "top_size": 19683,
+        "num_backups": 1, "backup_sizes": [3], "fusion_state_space": 3,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
 }
 
 
 #: The runtime study's workloads are the perf baseline's workloads — one
 #: definition, shared with ``bench_runtime.py``, so both suites always
-#: measure the same machines under the same case names.
+#: measure the same machines under the same case names — plus the
+#: tens-of-thousands-of-states case only the sparse engine can run.
 CASES: Dict[str, Callable[[], Sequence]] = dict(GENERATION_CASES)
+CASES["counters-9 (top=19683)"] = lambda: _counters_family(9)
 
 #: Generous absolute wall-clock guards (seconds) for CI runners of
 #: unknown speed.  The real trajectory lives in BENCH_perf.json.
@@ -100,6 +130,10 @@ WALL_CLOCK_GUARDS: Dict[str, float] = {
     "counters-5 (top=243)": 10.0,
     "mesi+counters+shift (top~252)": 15.0,
     "counters-6 (top=729)": 30.0,
+    # The runtime study's practicality bound, applied strictly: the
+    # sparse engine clears it by an order of magnitude on the reference
+    # container (~4 s), and the dense engines cannot run the case at all.
+    "counters-9 (top=19683)": 60.0,
 }
 
 
@@ -127,6 +161,13 @@ def run_case(name: str, rounds: int = 1) -> Dict[str, object]:
                 # stages partition the remaining wall-clock.
                 "stages": watch.as_dict(),
                 "summary": result.summary(),
+                "engine": "sparse" if result.graph.is_sparse else "dense",
+                # For sparse runs: stored low-weight pairs — the O(nnz)
+                # the engine actually holds instead of the O(|top|^2)
+                # condensed vector.
+                "ledger_nnz": (
+                    result.graph.ledger.nnz if result.graph.ledger is not None else None
+                ),
                 "pre_pr_seconds": pre,
                 "speedup_vs_pre_pr": round(pre / elapsed, 2) if pre else None,
             }
@@ -186,6 +227,30 @@ def test_counters6_well_under_runtime_bound():
     elapsed = time.perf_counter() - start
     assert result.summary() == EXPECTED_SUMMARIES["counters-6 (top=729)"]
     assert elapsed < 30.0
+
+
+def test_counters9_sparse_engine_within_runtime_bound():
+    """The top=19683 flagship: 60 s bound *and* no dense pair allocation.
+
+    ``counters-9`` only exists because of the sparse engine — the dense
+    condensed vector alone would be ~1.5 GB and the descent's ``(B, B)``
+    pruning matrix ~3 GB more — so besides the wall-clock bound this
+    asserts the run actually stayed sparse: the final graph is in ledger
+    mode and refuses to materialise the ``O(n^2)`` dense export.
+    """
+    import pytest as _pytest
+
+    from repro.core.exceptions import PartitionError
+
+    start = time.perf_counter()
+    result = generate_fusion(CASES["counters-9 (top=19683)"](), f=1)
+    elapsed = time.perf_counter() - start
+    assert result.summary() == EXPECTED_SUMMARIES["counters-9 (top=19683)"]
+    assert elapsed < 60.0
+    assert result.graph.is_sparse
+    assert result.graph.ledger is not None and result.graph.ledger.nnz < 10**6
+    with _pytest.raises(PartitionError):
+        result.graph.condensed_weights
 
 
 def main(argv: Sequence[str]) -> int:

@@ -52,6 +52,7 @@ from .core import (
     FusionError,
     FusionExistenceError,
     FusionResult,
+    PairLedger,
     InvalidMachineError,
     NotComparableError,
     Partition,
@@ -85,6 +86,7 @@ from .core import (
     inherent_fault_tolerance,
     is_closed_partition,
     is_fusion,
+    resolve_workers,
     is_minimal_fusion,
     lower_cover,
     lower_cover_machines,
@@ -120,6 +122,7 @@ __all__ = [
     "FaultGraph",
     "FaultToleranceProfile",
     "FusionResult",
+    "PairLedger",
     "Partition",
     "RecoveryEngine",
     "RecoveryOutcome",
@@ -158,6 +161,7 @@ __all__ = [
     "inherent_fault_tolerance",
     "is_closed_partition",
     "is_fusion",
+    "resolve_workers",
     "is_minimal_fusion",
     "lower_cover",
     "lower_cover_machines",

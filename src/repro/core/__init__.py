@@ -62,8 +62,10 @@ from .fusion import (
     generate_byzantine_fusion,
     generate_fusion,
     is_fusion,
+    resolve_workers,
 )
 from .lattice import ClosedPartitionLattice, basis, lower_cover, lower_cover_machines
+from .sparse import PairLedger
 from .minimize import are_equivalent, hopcroft_minimize, minimize, remove_unreachable
 from .partition import (
     Partition,
@@ -119,8 +121,11 @@ __all__ = [
     "required_dmin",
     "system_dmin",
     "system_fault_graph",
+    # sparse engine
+    "PairLedger",
     # fusion
     "FusionResult",
+    "resolve_workers",
     "check_subset_theorem",
     "fusion_order_leq",
     "fusion_state_space",

@@ -10,15 +10,32 @@ determines the fault tolerance of the set:
 * up to ``dmin - 1`` crash faults (Theorem 1 / Observation 1);
 * up to ``floor((dmin - 1) / 2)`` Byzantine faults (Theorem 2).
 
-Edge weights are stored *condensed*: a single vector with one entry per
-unordered state pair ``(i, j)``, ``i < j``, indexed by the shared
-upper-triangular index arrays of :func:`condensed_indices`.  Folding in a
-machine, recomputing ``dmin`` and listing the weakest edges are then
-single vectorised passes over that vector — these run inside the inner
-loop of fusion generation (Algorithm 2) — and ``dmin`` / the weakest
-edges are computed once per (immutable) graph and cached; building a new
-graph with :meth:`with_partition` starts from the parent's vector, so
-nothing is ever recomputed from scratch.
+Two storage engines back the same public API:
+
+**Dense (condensed) mode** — the default for small tops.  Edge weights
+are stored *condensed*: a single vector with one entry per unordered
+state pair ``(i, j)``, ``i < j``, indexed by the shared upper-triangular
+index arrays of :func:`condensed_indices`.  Folding in a machine,
+recomputing ``dmin`` and listing the weakest edges are single vectorised
+passes over that vector.
+
+**Sparse (ledger) mode** — automatic above
+:data:`SPARSE_STATE_CUTOFF` states (or on request).  The condensed
+vector is ``O(n^2)`` and caps ``|top|`` at a few thousand states, but the
+fusion algorithm only ever consumes the *low-weight* end of the spectrum
+(``dmin`` and the weakest edges).  Sparse mode therefore stores a
+:class:`repro.core.sparse.PairLedger`: exact weights for every pair
+below a cap, found by a pigeonhole join over machine groups in
+``O(nnz)``, with the cap escalated (and the ledger rebuilt) on the rare
+occasions a caller asks about heavier edges.  All answers remain exact —
+the two modes are byte-identical, which
+``tests/property/test_vectorized_equivalence.py`` checks on random
+machines.
+
+In both modes the class is immutable; :meth:`with_partition` returns a
+new graph with one more machine folded in, reusing the parent's vector
+or ledger, and derived quantities (``dmin``, the weakest edges) are
+cached per instance — immutability makes the caches trivially valid.
 """
 
 from __future__ import annotations
@@ -31,10 +48,13 @@ from .dfsm import DFSM
 from .exceptions import PartitionError
 from .partition import Partition, partition_from_machine
 from .product import CrossProduct
+from .sparse import PairLedger, condensed_indices
 from .types import StateLabel
 
 __all__ = [
+    "DENSE_EXPORT_LIMIT",
     "FaultGraph",
+    "SPARSE_STATE_CUTOFF",
     "build_fault_graph",
     "condensed_indices",
     "dmin_of_machines",
@@ -43,25 +63,21 @@ __all__ = [
 
 EdgeKey = Tuple[int, int]
 
-#: Shared upper-triangular index arrays keyed by the number of states.
-#: Every graph over ``n`` states uses the same two read-only arrays, so
-#: repeated fusion calls pay the ``triu_indices`` cost once.
-_CONDENSED_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-_CONDENSED_CACHE_LIMIT = 32
+#: Above this many top states, ``mode="auto"`` picks the sparse ledger
+#: engine; at or below it, the dense condensed vector (whose ``O(n^2)``
+#: cost is negligible there) is kept for exact behavioural continuity
+#: with the previous engine.
+SPARSE_STATE_CUTOFF = 4096
 
+#: Sparse graphs at or below this many states may still materialise the
+#: dense condensed vector on demand (exports, uniform-graph weakest
+#: edges); above it those operations raise instead of allocating the
+#: ``O(n^2)`` structures the sparse engine exists to avoid.
+DENSE_EXPORT_LIMIT = 4096
 
-def condensed_indices(num_states: int) -> Tuple[np.ndarray, np.ndarray]:
-    """The (cached, read-only) ``i`` and ``j`` arrays of all pairs ``i < j``."""
-    cached = _CONDENSED_CACHE.get(num_states)
-    if cached is None:
-        rows, cols = np.triu_indices(num_states, k=1)
-        rows.setflags(write=False)
-        cols.setflags(write=False)
-        cached = (rows, cols)
-        while len(_CONDENSED_CACHE) >= _CONDENSED_CACHE_LIMIT:
-            _CONDENSED_CACHE.pop(next(iter(_CONDENSED_CACHE)))
-        _CONDENSED_CACHE[num_states] = cached
-    return cached
+#: Ledger cap used when the caller gives no ``weight_cap`` hint: exact
+#: weights for every pair lighter than this, escalated on demand.
+_DEFAULT_WEIGHT_CAP = 4
 
 
 def separation_matrix(partition: Partition) -> np.ndarray:
@@ -95,19 +111,31 @@ class FaultGraph:
         by label instead of index.
     machine_names:
         Optional display names, parallel to ``partitions``.
+    mode:
+        ``"auto"`` (default) — dense condensed storage up to
+        :data:`SPARSE_STATE_CUTOFF` states, the sparse ledger above;
+        ``"dense"`` / ``"sparse"`` force an engine regardless of size.
+    weight_cap:
+        Sparse mode only: build the ledger to answer weights below this
+        cap exactly (Algorithm 2 passes its target ``dmin`` plus one).
+        Heavier queries trigger an escalating rebuild; answers are exact
+        either way.
 
     The class is immutable; :meth:`with_partition` returns a new graph
     with one more machine folded in (reusing the existing condensed
-    weight vector).  Derived quantities (``dmin``, the weakest edges, the
-    dense weight matrix) are computed lazily and cached per instance —
-    immutability makes the caches trivially valid, and the incremental
-    constructors hand the next graph a ready-made weight vector, so cache
-    "invalidation" is simply a fresh object.
+    weight vector or sparse ledger).  Derived quantities (``dmin``, the
+    weakest edges, the dense weight matrix) are computed lazily and
+    cached per instance — immutability makes the caches trivially valid,
+    and the incremental constructors hand the next graph ready-made
+    storage, so cache "invalidation" is simply a fresh object.
     """
 
     __slots__ = (
         "_n",
         "_condensed",
+        "_ledger",
+        "_sparse",
+        "_weight_cap",
         "_partitions",
         "_names",
         "_labels",
@@ -125,11 +153,16 @@ class FaultGraph:
         partitions: Sequence[Partition] = (),
         state_labels: Optional[Sequence[StateLabel]] = None,
         machine_names: Optional[Sequence[str]] = None,
+        mode: str = "auto",
+        weight_cap: Optional[int] = None,
         _weights: Optional[np.ndarray] = None,
         _condensed: Optional[np.ndarray] = None,
+        _ledger: Optional[PairLedger] = None,
     ) -> None:
         if num_states <= 0:
             raise PartitionError("a fault graph needs at least one state")
+        if mode not in ("auto", "dense", "sparse"):
+            raise PartitionError("unknown fault-graph mode %r" % (mode,))
         self._n = int(num_states)
         self._partitions: Tuple[Partition, ...] = tuple(partitions)
         for p in self._partitions:
@@ -155,23 +188,34 @@ class FaultGraph:
             isinstance(label, (int, np.integer)) for label in self._labels
         )
 
-        rows, cols = condensed_indices(self._n)
-        if _condensed is not None:
-            condensed = np.asarray(_condensed, dtype=np.int64)
-        elif _weights is not None:
-            dense = np.asarray(_weights, dtype=np.int64)
-            condensed = dense[rows, cols].copy()
-        else:
-            condensed = np.zeros(rows.size, dtype=np.int64)
-            for partition in self._partitions:
-                condensed += _condensed_separation(partition, rows, cols)
-        if condensed.shape != rows.shape:
-            raise PartitionError(
-                "condensed weight vector has %d entries, expected %d"
-                % (condensed.size, rows.size)
-            )
-        condensed.setflags(write=False)
-        self._condensed = condensed
+        self._sparse = mode == "sparse" or (
+            mode == "auto" and self._n > SPARSE_STATE_CUTOFF
+        )
+        self._weight_cap = int(weight_cap) if weight_cap is not None else _DEFAULT_WEIGHT_CAP
+        if self._weight_cap < 1:
+            raise PartitionError("weight_cap must be at least 1")
+        self._ledger: Optional[PairLedger] = _ledger
+        self._condensed: Optional[np.ndarray] = None
+        if not self._sparse:
+            rows, cols = condensed_indices(self._n)
+            if _condensed is not None:
+                condensed = np.asarray(_condensed, dtype=np.int64)
+            elif _weights is not None:
+                dense = np.asarray(_weights, dtype=np.int64)
+                condensed = dense[rows, cols].copy()
+            else:
+                condensed = np.zeros(rows.size, dtype=np.int64)
+                for partition in self._partitions:
+                    condensed += _condensed_separation(partition, rows, cols)
+            if condensed.shape != rows.shape:
+                raise PartitionError(
+                    "condensed weight vector has %d entries, expected %d"
+                    % (condensed.size, rows.size)
+                )
+            condensed.setflags(write=False)
+            self._condensed = condensed
+        elif _weights is not None or _condensed is not None:
+            raise PartitionError("dense weight inputs cannot seed a sparse graph")
 
         # Lazily-computed caches (valid forever: the graph is immutable).
         self._dmin: Optional[int] = None
@@ -184,7 +228,11 @@ class FaultGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_machines(
-        cls, top: DFSM, machines: Sequence[DFSM]
+        cls,
+        top: DFSM,
+        machines: Sequence[DFSM],
+        mode: str = "auto",
+        weight_cap: Optional[int] = None,
     ) -> "FaultGraph":
         """Build ``G(top, machines)`` from DFSMs, using Algorithm 1 for each.
 
@@ -196,10 +244,17 @@ class FaultGraph:
             partitions,
             state_labels=top.states,
             machine_names=[m.name for m in machines],
+            mode=mode,
+            weight_cap=weight_cap,
         )
 
     @classmethod
-    def from_cross_product(cls, product: CrossProduct) -> "FaultGraph":
+    def from_cross_product(
+        cls,
+        product: CrossProduct,
+        mode: str = "auto",
+        weight_cap: Optional[int] = None,
+    ) -> "FaultGraph":
         """Fault graph of the component machines of a :class:`CrossProduct`.
 
         Uses the product's cached component partitions directly, avoiding
@@ -211,6 +266,8 @@ class FaultGraph:
             product.component_partitions(),
             state_labels=product.machine.states,
             machine_names=[m.name for m in product.components],
+            mode=mode,
+            weight_cap=weight_cap,
         )
 
     # ------------------------------------------------------------------
@@ -235,13 +292,31 @@ class FaultGraph:
         return self._names
 
     @property
+    def is_sparse(self) -> bool:
+        """True when this graph runs on the sparse ledger engine."""
+        return self._sparse
+
+    @property
+    def ledger(self) -> Optional[PairLedger]:
+        """The sparse pair ledger, if one has been materialised yet.
+
+        ``None`` for dense graphs and for sparse graphs that have not
+        answered a weight query so far.  Exposed for benchmarks and
+        tests (``ledger.nnz`` is the "O(nnz)" the engine actually pays).
+        """
+        return self._ledger
+
+    @property
     def condensed_weights(self) -> np.ndarray:
         """Edge weights as a read-only vector over all pairs ``i < j``.
 
-        Paired with :func:`condensed_indices`; this is the storage format
-        and the cheapest way to scan every edge.
+        Paired with :func:`condensed_indices`; this is the dense storage
+        format and the cheapest way to scan every edge.  In sparse mode
+        the vector is materialised on demand for graphs up to
+        :data:`SPARSE_STATE_CUTOFF` states and refused above it (it would
+        be the very ``O(n^2)`` allocation sparse mode exists to avoid).
         """
-        return self._condensed
+        return self._condensed_or_raise()
 
     @property
     def weight_matrix(self) -> np.ndarray:
@@ -249,13 +324,15 @@ class FaultGraph:
 
         Reconstructed from the condensed vector on first access and
         cached; the diagonal is meaningless (a state is never "separated"
-        from itself) and always zero.
+        from itself) and always zero.  Subject to the same sparse-mode
+        size limit as :attr:`condensed_weights`.
         """
         if self._dense is None:
+            condensed = self._condensed_or_raise()
             rows, cols = condensed_indices(self._n)
             dense = np.zeros((self._n, self._n), dtype=np.int64)
-            dense[rows, cols] = self._condensed
-            dense[cols, rows] = self._condensed
+            dense[rows, cols] = condensed
+            dense[cols, rows] = condensed
             dense.setflags(write=False)
             self._dense = dense
         return self._dense
@@ -265,11 +342,72 @@ class FaultGraph:
         return self._labels
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "FaultGraph(states=%d, machines=%d, dmin=%d)" % (
+        return "FaultGraph(states=%d, machines=%d, dmin=%d%s)" % (
             self._n,
             self.num_machines,
             self.dmin() if self._n > 1 else 0,
+            ", sparse" if self._sparse else "",
         )
+
+    # ------------------------------------------------------------------
+    # Sparse internals
+    # ------------------------------------------------------------------
+    def _condensed_or_raise(self) -> np.ndarray:
+        """The condensed vector, materialising it for small sparse graphs."""
+        if self._condensed is not None:
+            return self._condensed
+        if self._n > DENSE_EXPORT_LIMIT:
+            raise PartitionError(
+                "dense edge enumeration over %d states is disabled in sparse "
+                "mode (it would allocate the O(n^2) vector the sparse engine "
+                "avoids); use dmin()/weakest_edge_arrays()/edges_below()"
+                % self._n
+            )
+        rows, cols = condensed_indices(self._n)
+        condensed = np.zeros(rows.size, dtype=np.int64)
+        for partition in self._partitions:
+            condensed += _condensed_separation(partition, rows, cols)
+        condensed.setflags(write=False)
+        self._condensed = condensed
+        return condensed
+
+    def _ensure_ledger(self, min_cap: Optional[int] = None) -> PairLedger:
+        """The pair ledger, (re)built so its cap is at least ``min_cap``.
+
+        Caps are clamped to the machine count (a pair can be separated at
+        most ``m`` times, so ``cap == m`` already classifies every pair).
+        """
+        num_machines = self.num_machines
+        wanted = max(self._weight_cap, min_cap or 1)
+        wanted = min(wanted, num_machines)
+        ledger = self._ledger
+        if ledger is None or ledger.cap < wanted:
+            ledger = PairLedger.from_partitions(self._partitions, self._n, wanted)
+            self._ledger = ledger
+        return ledger
+
+    def _sparse_dmin(self) -> int:
+        num_machines = self.num_machines
+        if num_machines == 0:
+            return 0  # no machine separates anything: every weight is zero
+        ledger = self._ensure_ledger()
+        while True:
+            least = ledger.min_weight()
+            if least is not None:
+                return least
+            if ledger.cap >= num_machines:
+                # Nothing below cap == m, and no weight exceeds m.
+                return num_machines
+            ledger = self._ensure_ledger(min_cap=min(num_machines, ledger.cap * 2))
+
+    def _all_pairs_or_raise(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Every pair — only legal where the dense layout would be, too."""
+        if self._n > DENSE_EXPORT_LIMIT:
+            raise PartitionError(
+                "every state pair qualifies (the graph is uniformly weighted); "
+                "enumerating all %d^2/2 pairs is disabled in sparse mode" % self._n
+            )
+        return condensed_indices(self._n)
 
     # ------------------------------------------------------------------
     # Edge addressing
@@ -316,14 +454,22 @@ class FaultGraph:
             return 0
         if ia > ib:
             ia, ib = ib, ia
-        return int(self._condensed[self._pair_offset(ia, ib)])
+        if self._condensed is not None:
+            return int(self._condensed[self._pair_offset(ia, ib)])
+        # Sparse mode: one O(m) pass over the partitions, no pair vector.
+        return sum(1 for p in self._partitions if p.labels[ia] != p.labels[ib])
 
     weight = distance
 
     def edges(self) -> List[Tuple[int, int, int]]:
-        """All edges as ``(i, j, weight)`` with ``i < j``."""
+        """All edges as ``(i, j, weight)`` with ``i < j``.
+
+        Dense enumeration — subject to the sparse-mode size limit of
+        :attr:`condensed_weights`.
+        """
+        condensed = self._condensed_or_raise()
         rows, cols = condensed_indices(self._n)
-        return list(zip(rows.tolist(), cols.tolist(), self._condensed.tolist()))
+        return list(zip(rows.tolist(), cols.tolist(), condensed.tolist()))
 
     # ------------------------------------------------------------------
     # dmin and weakest edges
@@ -339,7 +485,10 @@ class FaultGraph:
         if self._n == 1:
             return self.num_machines
         if self._dmin is None:
-            self._dmin = int(self._condensed.min())
+            if self._sparse:
+                self._dmin = self._sparse_dmin()
+            else:
+                self._dmin = int(self._condensed.min())
         return self._dmin
 
     def weakest_edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -347,12 +496,25 @@ class FaultGraph:
 
         ``(rows, cols)`` with ``rows[k] < cols[k]`` and
         ``weight(rows[k], cols[k]) == dmin()`` — the form the fusion
-        descent consumes directly for vectorised separation checks.
+        descent consumes directly for vectorised separation checks.  Both
+        engines return the same arrays in the same (condensed) order.
         """
         if self._weak_rows is None:
             if self._n == 1:
                 self._weak_rows = np.empty(0, dtype=np.int64)
                 self._weak_cols = np.empty(0, dtype=np.int64)
+            elif self._sparse:
+                least = self.dmin()
+                if self.num_machines == 0 or least >= self.num_machines:
+                    # Uniform graph: every pair is weakest.
+                    rows, cols = self._all_pairs_or_raise()
+                    self._weak_rows, self._weak_cols = rows, cols
+                else:
+                    ledger = self._ensure_ledger()
+                    rows, cols = ledger.pairs_with_weight(least)
+                    rows.setflags(write=False)
+                    cols.setflags(write=False)
+                    self._weak_rows, self._weak_cols = rows, cols
             else:
                 rows, cols = condensed_indices(self._n)
                 mask = self._condensed == self.dmin()
@@ -369,8 +531,17 @@ class FaultGraph:
 
     def edges_below(self, threshold: int) -> List[EdgeKey]:
         """Edges with weight strictly less than ``threshold``."""
-        if self._n == 1:
+        if self._n == 1 or threshold <= 0:
             return []
+        if self._sparse:
+            num_machines = self.num_machines
+            if threshold > num_machines:
+                # Every pair weighs at most m, so every pair qualifies.
+                rows, cols = self._all_pairs_or_raise()
+            else:
+                ledger = self._ensure_ledger(min_cap=threshold)
+                rows, cols = ledger.pairs_below(threshold)
+            return list(zip(rows.tolist(), cols.tolist()))
         rows, cols = condensed_indices(self._n)
         mask = self._condensed < threshold
         return list(zip(rows[mask].tolist(), cols[mask].tolist()))
@@ -381,13 +552,27 @@ class FaultGraph:
     def with_partition(self, partition: Partition, name: Optional[str] = None) -> "FaultGraph":
         """Return a new graph with one more machine's partition folded in.
 
-        The new graph's weight vector is the parent's plus one vectorised
-        same-block comparison — nothing is rebuilt from the machine list.
+        The new graph's storage is the parent's plus one vectorised
+        same-block comparison — over the full condensed vector in dense
+        mode, over the ledger's ``nnz`` stored pairs in sparse mode —
+        nothing is rebuilt from the machine list.
         """
         if partition.num_elements != self._n:
             raise PartitionError(
                 "partition over %d elements does not match %d top states"
                 % (partition.num_elements, self._n)
+            )
+        name_tuple = self._names + ((name or "M%d" % self.num_machines),)
+        if self._sparse:
+            folded = self._ledger.fold(partition.labels) if self._ledger is not None else None
+            return FaultGraph(
+                self._n,
+                self._partitions + (partition,),
+                state_labels=self._labels,
+                machine_names=name_tuple,
+                mode="sparse",
+                weight_cap=self._weight_cap,
+                _ledger=folded,
             )
         rows, cols = condensed_indices(self._n)
         new_condensed = self._condensed + _condensed_separation(partition, rows, cols)
@@ -395,7 +580,9 @@ class FaultGraph:
             self._n,
             self._partitions + (partition,),
             state_labels=self._labels,
-            machine_names=self._names + ((name or "M%d" % self.num_machines),),
+            machine_names=name_tuple,
+            mode="dense",
+            weight_cap=self._weight_cap,
             _condensed=new_condensed,
         )
 
@@ -404,7 +591,10 @@ class FaultGraph:
 
         Cheaper than :meth:`with_partition` + :meth:`dmin` because no new
         graph object is allocated; Algorithm 2 calls this for every
-        candidate in a lower cover.
+        candidate in a lower cover.  In sparse mode the common case is a
+        single vectorised pass over the ledger; only when every stored
+        pair would cross the cap does it fall back to building the child
+        graph (whose escalation then computes the exact answer).
         """
         if partition.num_elements != self._n:
             raise PartitionError(
@@ -413,6 +603,14 @@ class FaultGraph:
             )
         if self._n == 1:
             return self.num_machines + 1
+        if self._sparse:
+            if self.num_machines == 0:
+                return self.with_partition(partition).dmin()
+            ledger = self._ensure_ledger()
+            least = ledger.fold_min(partition.labels)
+            if least is not None:
+                return least
+            return self.with_partition(partition).dmin()
         rows, cols = condensed_indices(self._n)
         return int((self._condensed + _condensed_separation(partition, rows, cols)).min())
 

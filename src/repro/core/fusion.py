@@ -12,6 +12,25 @@ still covers every weakest edge of the current fault graph, then adds the
 machine reached and repeats until ``dmin(A ∪ F) > f``.  The number of
 machines produced is exactly ``required_dmin(f) - dmin(A)``.
 
+The descent runs on one of two engines, chosen per lattice level by the
+current block count:
+
+* the **dense** engine (small levels) scans the materialised pair index
+  arrays and prunes failure-dominated levels with a boolean ``(B, B)``
+  implication fixpoint — exactly the previous PR's code path;
+* the **sparse** engine (levels above :data:`DESCENT_SPARSE_CUTOFF`
+  blocks) enumerates merge candidates lazily in the same order, prunes
+  with the sparse backward fixpoint of
+  :func:`repro.core.sparse.doomed_pair_keys`, and batches the surviving
+  SP-closures — optionally across a ``ProcessPoolExecutor`` (see
+  :func:`resolve_workers`) — so neither memory nor single-core closure
+  throughput caps ``|top|``.
+
+Both engines accept candidates in the same lexicographic order and prune
+only provably-failing candidates, so their results are byte-identical;
+``tests/property/test_vectorized_equivalence.py`` and the frozen
+summaries in ``benchmarks/bench_perf_regression.py`` enforce that.
+
 This module also implements Definition 6 (the order among fusions, via a
 bipartite matching over the pairwise machine order) and Theorem 3 (every
 (m - t)-subset of an (f, m)-fusion is an (f - t, m - t)-fusion), both as
@@ -21,9 +40,20 @@ ablation.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -43,6 +73,7 @@ from .partition import (
     quotient_table,
 )
 from .product import CrossProduct
+from .sparse import doomed_pair_keys, iter_pair_chunks, sorted_key_membership
 
 __all__ = [
     "FusionResult",
@@ -53,7 +84,9 @@ __all__ = [
     "fusion_state_space",
     "fusion_order_leq",
     "check_subset_theorem",
+    "resolve_workers",
     "DescentStrategy",
+    "DESCENT_SPARSE_CUTOFF",
 ]
 
 #: Signature of a descent strategy: given the current fault graph and the
@@ -176,6 +209,59 @@ _DOOMED_MAX_ROUNDS = 64
 #: (counter families) never pay for it.
 _PRUNE_AFTER_FAILURES = 8
 
+#: Lattice levels with more blocks than this run the sparse scan: lazy
+#: pair enumeration, sparse doomed-pair pruning and batched closures,
+#: with no ``O(B^2)`` allocation.  Levels at or below it run the dense
+#: scan of the previous engine unchanged.
+DESCENT_SPARSE_CUTOFF = 4096
+
+#: Pair-enumeration chunk size of the sparse scan (peak enumeration
+#: memory per level is a few of these, not ``O(B^2)``).
+_PAIR_CHUNK = 16384
+
+#: Surviving candidates per closure batch.  One batch is one worker task
+#: in parallel mode; the serial path uses the same batching so the two
+#: evaluate candidates in an identical order.
+_CLOSURE_BATCH = 64
+
+#: Hard ceiling on worker processes however the count is configured.
+_MAX_WORKERS = 16
+
+#: Minimum *guaranteed* surviving candidates (remaining pairs minus the
+#: doomed-set size, a lower bound) before a lattice level spins up the
+#: process pool.  Pools are created per level — the initializer ships
+#: that level's quotient table once per worker — so a level whose
+#: post-prune tail is small runs serially rather than paying worker
+#: spawn costs it cannot amortise.
+_POOL_MIN_SURVIVORS = 256
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the closure-batch worker count for the sparse descent.
+
+    ``workers`` wins when given; otherwise the ``REPRO_FUSION_WORKERS``
+    environment variable; otherwise the CPU count — except under pytest
+    (``PYTEST_CURRENT_TEST`` set), where the default is the serial path
+    so test runs stay single-process and deterministic to debug.  Values
+    of 0 or 1 mean serial; anything larger is capped at
+    :data:`_MAX_WORKERS`.  Parallel and serial evaluation are
+    byte-identical — workers only change wall-clock.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_FUSION_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise FusionError(
+                    "REPRO_FUSION_WORKERS must be an integer, got %r" % env
+                ) from None
+        elif "PYTEST_CURRENT_TEST" in os.environ:
+            workers = 0
+        else:
+            workers = os.cpu_count() or 1
+    return max(0, min(int(workers), _MAX_WORKERS))
+
 
 def _doomed_pairs(
     quotient: np.ndarray, weak_a: np.ndarray, weak_b: np.ndarray, num_blocks: int
@@ -196,6 +282,10 @@ def _doomed_pairs(
     workloads the filter eliminates virtually every failing candidate,
     which is what turns the per-level scan from thousands of Python
     union-find closures into one NumPy fixpoint.
+
+    This is the dense form, used for levels up to
+    :data:`DESCENT_SPARSE_CUTOFF` blocks; larger levels use the sparse
+    :func:`repro.core.sparse.doomed_pair_keys` fixpoint instead.
     """
     doomed = np.zeros((num_blocks, num_blocks), dtype=bool)
     doomed[weak_a, weak_b] = True
@@ -213,12 +303,286 @@ def _doomed_pairs(
     return doomed
 
 
+# ----------------------------------------------------------------------
+# Batched closure evaluation (shared by the serial and pooled paths)
+# ----------------------------------------------------------------------
+def _evaluate_pair_batch(
+    quotient: np.ndarray,
+    weak_pair: Tuple[np.ndarray, np.ndarray],
+    pairs: np.ndarray,
+    first_only: bool,
+) -> List[Tuple[int, np.ndarray]]:
+    """SP-close each candidate merge in ``pairs`` (a ``(k, 2)`` array).
+
+    Returns ``(offset, closed_block_labels)`` for every qualifying
+    candidate (closure separates all weakest pairs), in order.  With
+    ``first_only`` the batch stops at its first hit — sound for the
+    ``"first"`` strategy because batches are consumed in candidate
+    order, so the first hit of the first hitting batch is the globally
+    first qualifying candidate.
+    """
+    merge_seed = np.arange(quotient.shape[0], dtype=np.int64)
+    hits: List[Tuple[int, np.ndarray]] = []
+    for offset, (a, b) in enumerate(pairs.tolist()):
+        merge_seed[b] = a
+        closed = closure_of_labels(quotient, merge_seed, stop_if_merges=weak_pair)
+        merge_seed[b] = b
+        if closed is not None:
+            hits.append((offset, closed))
+            if first_only:
+                break
+    return hits
+
+
+#: Per-process state of pool workers, installed by :func:`_worker_init`.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _worker_init(
+    quotient: np.ndarray, weak_a: np.ndarray, weak_b: np.ndarray, first_only: bool
+) -> None:
+    """Pool initializer: ship the level's quotient table once per worker."""
+    _WORKER_STATE["quotient"] = quotient
+    _WORKER_STATE["weak_pair"] = (weak_a, weak_b)
+    _WORKER_STATE["first_only"] = first_only
+
+
+def _worker_evaluate(pairs: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+    """Pool task: evaluate one candidate batch against the worker state."""
+    return _evaluate_pair_batch(
+        _WORKER_STATE["quotient"],  # type: ignore[arg-type]
+        _WORKER_STATE["weak_pair"],  # type: ignore[arg-type]
+        pairs,
+        bool(_WORKER_STATE["first_only"]),
+    )
+
+
+def _scan_level_sparse(
+    quotient: np.ndarray,
+    base_labels: np.ndarray,
+    weak_a: np.ndarray,
+    weak_b: np.ndarray,
+    num_blocks: int,
+    first_mode: bool,
+    workers: int,
+    measure,
+) -> Tuple[Optional[Partition], List[Partition]]:
+    """Scan one large lattice level without any ``O(B^2)`` structure.
+
+    Mirrors the dense scan exactly: candidates are the block pairs in
+    lexicographic order; the first :data:`_PRUNE_AFTER_FAILURES`
+    rejections are paid optimistically, then the sparse doomed-pair
+    fixpoint prunes in bulk and only survivors are closed — in
+    :data:`_CLOSURE_BATCH`-sized batches, either in-process or across a
+    ``ProcessPoolExecutor`` when ``workers > 1``.  Returns ``(chosen,
+    improving)`` with the same semantics as the dense scan: ``chosen``
+    is the first qualifying candidate in first mode, ``improving`` the
+    deduplicated qualifying candidates otherwise.
+    """
+    weak_pair = (weak_a, weak_b)
+    chunk_iter = iter_pair_chunks(num_blocks, _PAIR_CHUNK)
+    current_rows = np.empty(0, dtype=np.int64)
+    current_cols = np.empty(0, dtype=np.int64)
+    position = 0
+    consumed = 0
+
+    def refill() -> bool:
+        nonlocal current_rows, current_cols, position
+        try:
+            current_rows, current_cols = next(chunk_iter)
+        except StopIteration:
+            return False
+        position = 0
+        return True
+
+    improving: List[Partition] = []
+    seen: set = set()
+
+    def record(closed: np.ndarray) -> Partition:
+        candidate = Partition(closed[base_labels])
+        if not first_mode and candidate not in seen:
+            seen.add(candidate)
+            improving.append(candidate)
+        return candidate
+
+    # Phase 1 — optimistic sequential scan, identical to the dense path.
+    merge_seed = np.arange(num_blocks, dtype=np.int64)
+    failures = 0
+    while failures < _PRUNE_AFTER_FAILURES:
+        if position >= current_rows.size and not refill():
+            return (None, improving)  # level exhausted during the scan
+        a = int(current_rows[position])
+        b = int(current_cols[position])
+        position += 1
+        consumed += 1
+        merge_seed[b] = a
+        with measure("closure"):
+            closed = closure_of_labels(quotient, merge_seed, stop_if_merges=weak_pair)
+        merge_seed[b] = b
+        if closed is None:
+            failures += 1
+            continue
+        candidate = record(closed)
+        if first_mode:
+            return (candidate, improving)
+
+    # Phase 2 — sparse doomed-pair prune over the implication adjacency.
+    with measure("prune"):
+        doomed = doomed_pair_keys(quotient, weak_a, weak_b, num_blocks)
+
+    def surviving_batches() -> Iterator[np.ndarray]:
+        """Surviving candidates after the prune, in order, batched."""
+        nonlocal position
+        pending: List[np.ndarray] = []
+        pending_count = 0
+        while True:
+            if position >= current_rows.size:
+                if not refill():
+                    break
+            rows = current_rows[position:]
+            cols = current_cols[position:]
+            position = current_rows.size
+            alive = ~sorted_key_membership(doomed, rows, cols, num_blocks)
+            if not alive.any():
+                continue
+            survivors = np.stack((rows[alive], cols[alive]), axis=1)
+            pending.append(survivors)
+            pending_count += survivors.shape[0]
+            while pending_count >= _CLOSURE_BATCH:
+                block = np.concatenate(pending, axis=0)
+                yield block[:_CLOSURE_BATCH]
+                pending = [block[_CLOSURE_BATCH:]]
+                pending_count -= _CLOSURE_BATCH
+        if pending_count:
+            yield np.concatenate(pending, axis=0)
+
+    # Phase 3 — close the survivors, batched (serially or on the pool).
+    # Remaining pairs minus the doomed-set size lower-bounds the surviving
+    # work; the per-level pool (whose initializer ships this level's
+    # quotient to each worker) is only worth its spawn cost above
+    # _POOL_MIN_SURVIVORS guaranteed candidates.
+    remaining = num_blocks * (num_blocks - 1) // 2 - consumed
+    guaranteed_survivors = remaining - int(doomed.size)
+    if workers <= 1 or guaranteed_survivors < _POOL_MIN_SURVIVORS:
+        for batch in surviving_batches():
+            with measure("closure"):
+                hits = _evaluate_pair_batch(quotient, weak_pair, batch, first_mode)
+            for _, closed in hits:
+                candidate = record(closed)
+                if first_mode:
+                    return (candidate, improving)
+        return (None, improving)
+
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(quotient, weak_a, weak_b, first_mode),
+    )
+    try:
+        batches = surviving_batches()
+        window: List[Future] = []
+        exhausted = False
+        while True:
+            while not exhausted and len(window) < workers * 2:
+                batch = next(batches, None)
+                if batch is None:
+                    exhausted = True
+                    break
+                window.append(executor.submit(_worker_evaluate, batch))
+            if not window:
+                return (None, improving)
+            head = window.pop(0)
+            with measure("closure"):
+                hits = head.result()
+            for _, closed in hits:
+                candidate = record(closed)
+                if first_mode:
+                    return (candidate, improving)
+    finally:
+        # Cancel queued batches but do wait for in-flight ones (at most
+        # one per worker): an un-joined pool trips over its own atexit
+        # hook at interpreter shutdown.
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _scan_level_dense(
+    quotient: np.ndarray,
+    base_labels: np.ndarray,
+    weak_a: np.ndarray,
+    weak_b: np.ndarray,
+    num_blocks: int,
+    first_mode: bool,
+    measure,
+) -> Tuple[Optional[Partition], List[Partition]]:
+    """Scan one small lattice level with the materialised pair arrays.
+
+    This is the previous engine's level scan, unchanged: optimistic
+    lexicographic evaluation, then the dense :func:`_doomed_pairs`
+    fixpoint and a vectorised survivor sweep.
+    """
+    pair_rows, pair_cols = condensed_indices(num_blocks)
+    num_pairs = pair_rows.size
+    chosen: Optional[Partition] = None
+    improving: List[Partition] = []
+    seen: set = set()
+
+    merge_seed = np.arange(num_blocks, dtype=np.int64)
+    weak_pair = (weak_a, weak_b)
+
+    def evaluate(index: int) -> bool:
+        """Close pair ``index``; True iff it qualifies (covers all weakest).
+
+        The closure aborts (returning ``None``) the moment it merges a
+        weakest pair, so rejected candidates cost one or two fixpoint
+        rounds instead of a full closure.
+        """
+        merge_seed[pair_cols[index]] = pair_rows[index]
+        with measure("closure"):
+            closed_blocks = closure_of_labels(
+                quotient, merge_seed, stop_if_merges=weak_pair
+            )
+        merge_seed[pair_cols[index]] = pair_cols[index]
+        if closed_blocks is None:
+            return False
+        candidate = Partition(closed_blocks[base_labels])
+        if first_mode:
+            nonlocal chosen
+            chosen = candidate
+        elif candidate not in seen:
+            seen.add(candidate)
+            improving.append(candidate)
+        return True
+
+    # Optimistic sequential scan; bail into the bulk prune once the
+    # level shows it is failure-dominated.
+    failures = 0
+    index = 0
+    while index < num_pairs and failures < _PRUNE_AFTER_FAILURES:
+        qualified = evaluate(index)
+        if qualified and first_mode:
+            break
+        if not qualified:
+            failures += 1
+        index += 1
+    if chosen is None and index < num_pairs:
+        with measure("prune"):
+            doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
+        remaining = index + np.nonzero(
+            ~doomed[pair_rows[index:], pair_cols[index:]]
+        )[0]
+        for survivor in remaining.tolist():
+            if evaluate(survivor) and first_mode:
+                break
+    return (chosen, improving)
+
+
 def _descend(
     top: DFSM,
     graph: FaultGraph,
     strategy: DescentStrategy,
     max_descent: Optional[int] = None,
     stopwatch=None,
+    workers: int = 0,
 ) -> Partition:
     """Inner loop of Algorithm 2: walk down the lattice from the top.
 
@@ -232,7 +596,7 @@ def _descend(
     Candidates at each level are the closures of merging two blocks of the
     current partition — exactly the construction behind the lower cover
     (Definition 2), enumerated in lexicographic pair order.  Each level is
-    evaluated in three vectorised stages:
+    evaluated in three stages:
 
     1. the weakest edges are projected into the quotient's block space
        (one fancy-indexing pass);
@@ -240,10 +604,16 @@ def _descend(
        workloads where an early candidate qualifies (the counter
        families) this is all that ever runs;
     3. after :data:`_PRUNE_AFTER_FAILURES` rejected candidates the
-       :func:`_doomed_pairs` fixpoint prunes, in bulk, every remaining
-       pair whose closure provably re-merges a weakest edge, and only
-       the survivors are closed (NumPy fixpoint closure on the quotient
-       table) and checked with a vectorised label comparison.
+       doomed-pair fixpoint prunes, in bulk, every remaining pair whose
+       closure provably re-merges a weakest edge, and only the survivors
+       are closed and checked.
+
+    Levels with at most :data:`DESCENT_SPARSE_CUTOFF` blocks run the
+    stages on materialised pair arrays and the dense fixpoint
+    (:func:`_scan_level_dense`); larger levels run the identical
+    candidate order through lazy enumeration, the sparse fixpoint and
+    batched (optionally multi-process) closures
+    (:func:`_scan_level_sparse`).
 
     The default ``"first"`` strategy stops at the first qualifying
     candidate — the paper's nondeterministic ``∃F ∈ C`` choice resolved
@@ -260,7 +630,8 @@ def _descend(
     weak_rows, weak_cols = graph.weakest_edge_arrays()
     current = Partition.identity(top.num_states)
     steps = 0
-    measure = stopwatch.measure if stopwatch is not None else None
+    measure = stopwatch.measure if stopwatch is not None else (lambda _name: nullcontext())
+    first_mode = strategy is _first_candidate
     while current.num_blocks > 1:
         if max_descent is not None and steps >= max_descent:
             break
@@ -272,68 +643,16 @@ def _descend(
         # every chosen candidate separates them by construction).
         weak_a = base_labels[weak_rows]
         weak_b = base_labels[weak_cols]
-        pair_rows, pair_cols = condensed_indices(num_blocks)
-        num_pairs = pair_rows.size
-        first_mode = strategy is _first_candidate
-        chosen: Optional[Partition] = None
-        improving: List[Partition] = []
-        seen = set()
-
-        merge_seed = np.arange(num_blocks, dtype=np.int64)
-        weak_pair = (weak_a, weak_b)
-
-        def evaluate(index: int) -> bool:
-            """Close pair ``index``; True iff it qualifies (covers all weakest).
-
-            The closure aborts (returning ``None``) the moment it merges a
-            weakest pair, so rejected candidates cost one or two fixpoint
-            rounds instead of a full closure.
-            """
-            merge_seed[pair_cols[index]] = pair_rows[index]
-            if measure is not None:
-                with measure("closure"):
-                    closed_blocks = closure_of_labels(
-                        quotient, merge_seed, stop_if_merges=weak_pair
-                    )
-            else:
-                closed_blocks = closure_of_labels(
-                    quotient, merge_seed, stop_if_merges=weak_pair
-                )
-            merge_seed[pair_cols[index]] = pair_cols[index]
-            if closed_blocks is None:
-                return False
-            candidate = Partition(closed_blocks[base_labels])
-            if first_mode:
-                nonlocal chosen
-                chosen = candidate
-            elif candidate not in seen:
-                seen.add(candidate)
-                improving.append(candidate)
-            return True
-
-        # Optimistic sequential scan; bail into the bulk prune once the
-        # level shows it is failure-dominated.
-        failures = 0
-        index = 0
-        while index < num_pairs and failures < _PRUNE_AFTER_FAILURES:
-            qualified = evaluate(index)
-            if qualified and first_mode:
-                break
-            if not qualified:
-                failures += 1
-            index += 1
-        if chosen is None and index < num_pairs:
-            if measure is not None:
-                with measure("prune"):
-                    doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
-            else:
-                doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
-            remaining = index + np.nonzero(
-                ~doomed[pair_rows[index:], pair_cols[index:]]
-            )[0]
-            for survivor in remaining.tolist():
-                if evaluate(survivor) and first_mode:
-                    break
+        if num_blocks > DESCENT_SPARSE_CUTOFF:
+            chosen, improving = _scan_level_sparse(
+                quotient, base_labels, weak_a, weak_b, num_blocks,
+                first_mode, workers, measure,
+            )
+        else:
+            chosen, improving = _scan_level_dense(
+                quotient, base_labels, weak_a, weak_b, num_blocks,
+                first_mode, measure,
+            )
         if chosen is None and improving:
             chosen = strategy(graph, improving)
         if chosen is None:
@@ -354,6 +673,7 @@ def generate_fusion(
     name_prefix: str = "F",
     product: Optional[CrossProduct] = None,
     stopwatch: Optional["Stopwatch"] = None,
+    workers: Optional[int] = None,
 ) -> FusionResult:
     """Algorithm 2 — generate backup machines tolerating ``f`` faults.
 
@@ -386,6 +706,11 @@ def generate_fusion(
         stages ``product_build``, ``graph_build``, ``descent``, ``prune``
         and ``closure`` are accumulated into it (the per-stage breakdown
         ``benchmarks/bench_perf_regression.py`` reports).
+    workers:
+        Worker processes for the sparse descent's batched closures; see
+        :func:`resolve_workers` for the ``None`` default (environment /
+        CPU count, serial under pytest).  The result is byte-identical
+        for every worker count.
 
     Returns
     -------
@@ -415,6 +740,7 @@ def generate_fusion(
 
     target_dmin = required_dmin(f, byzantine=byzantine)
     crash_equivalent_f = target_dmin - 1
+    worker_count = resolve_workers(workers)
 
     measure = stopwatch.measure if stopwatch is not None else nullcontext
     if product is None:
@@ -423,12 +749,16 @@ def generate_fusion(
     top = product.machine
 
     with measure("graph_build"):
-        graph = FaultGraph.from_cross_product(product)
+        # The cap tells a sparse graph which weights Algorithm 2 will ask
+        # about exactly: everything up to the target dmin.
+        graph = FaultGraph.from_cross_product(product, weight_cap=target_dmin + 1)
         for backup in existing_backups:
             graph = graph.with_partition(
                 partition_from_machine(top, backup), name=backup.name
             )
-    initial_dmin = graph.dmin()
+        # dmin is lazy; computing it here charges the (sparse) ledger
+        # build to this stage instead of leaking it into unmeasured time.
+        initial_dmin = graph.dmin()
 
     needed = max(0, target_dmin - initial_dmin)
     if max_backups is not None and needed > max_backups:
@@ -442,7 +772,9 @@ def generate_fusion(
     new_machines: List[DFSM] = []
     while graph.dmin() <= crash_equivalent_f:
         with measure("descent"):
-            chosen = _descend(top, graph, strategy_fn, stopwatch=stopwatch)
+            chosen = _descend(
+                top, graph, strategy_fn, stopwatch=stopwatch, workers=worker_count
+            )
         index = len(existing_backups) + len(new_machines) + 1
         name = "%s%d" % (name_prefix, index)
         machine = machine_from_partition(top, chosen, name=name)
@@ -482,7 +814,7 @@ def is_fusion(
     """Definition 5: true iff ``backups`` is an (f, len(backups))-fusion of ``machines``."""
     if product is None:
         product = CrossProduct(machines)
-    graph = FaultGraph.from_cross_product(product)
+    graph = FaultGraph.from_cross_product(product, weight_cap=f + 2)
     top = product.machine
     for backup in backups:
         graph = graph.with_partition(partition_from_machine(top, backup), name=backup.name)

@@ -102,12 +102,22 @@ def lower_cover(machine: DFSM, partition: Optional[Partition] = None) -> List[Pa
     # Work on the quotient machine: merging two blocks of a closed
     # partition and closing is equivalent to merging the corresponding
     # quotient states and closing there, then pulling the result back.
+    # Distinct block pairs routinely close to the same partition, so
+    # candidates are deduplicated as they appear: the retained list grows
+    # with the number of *distinct* closures instead of holding all
+    # O(B^2) pullbacks (each of which is a full n-element vector) at
+    # once.  First-appearance order is preserved, so the result is
+    # unchanged.
     quotient = quotient_table(machine, partition)
     base_labels = partition.labels
     candidates: List[Partition] = []
+    seen: Set[Partition] = set()
     for block_a, block_b in combinations(range(partition.num_blocks), 2):
         closed_blocks = merge_blocks_and_close(quotient, block_a, block_b)
-        candidates.append(Partition(closed_blocks[base_labels]))
+        candidate = Partition(closed_blocks[base_labels])
+        if candidate not in seen:
+            seen.add(candidate)
+            candidates.append(candidate)
     return _maximal_partitions(candidates)
 
 

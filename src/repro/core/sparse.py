@@ -1,0 +1,462 @@
+"""Sparse pair structures for the fault graph and the lattice descent.
+
+The dense engine of the previous PR stores one integer per unordered
+state pair: a condensed upper-triangular vector for the fault-graph
+weights, full ``(i, j)`` index arrays for pair enumeration, and a boolean
+``(B, B)`` matrix for the doomed-pair pruning fixpoint.  All of those are
+``O(B^2)`` and cap ``|top|`` at a few thousand states (``counters-8``,
+``|top| = 6561``, already needs ~1.6 GB and half a minute).
+
+This module provides the sparse replacements, hand-rolled on plain NumPy
+index/value arrays (CSR/COO style) because the container ships no
+``scipy``:
+
+* :func:`condensed_indices` — the shared upper-triangular index arrays of
+  the *dense* layout (moved here so every consumer shares one cache);
+* :func:`iter_pair_chunks` — lazy enumeration of all pairs ``i < j`` in
+  condensed (lexicographic) order, ``O(chunk)`` memory;
+* :func:`coblock_pair_arrays` — the co-block pairs of a partition as COO
+  index arrays, ``O(nnz)``;
+* :func:`low_weight_pairs` — every pair separated by fewer than ``cap``
+  machines, found *without* touching the ``O(B^2)`` pair space via a
+  pigeonhole join over machine groups;
+* :class:`PairLedger` — the sparse fault-graph storage built on top of
+  :func:`low_weight_pairs`: exact weights for every pair below a cap,
+  with vectorised incremental folds;
+* :func:`doomed_pair_keys` — the pair-implication pruning fixpoint of the
+  lattice descent, propagated backwards over the sparse adjacency only.
+
+Everything here is exact (never approximate): the ledger records which
+weights it knows exactly (``weight < cap``) and callers escalate the cap
+when they need more, and the doomed-pair set is a *sound* filter by
+construction, so an early (budgeted) stop can only make pruning less
+complete, never wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .exceptions import PartitionError
+from .partition import Partition, _canonicalise
+
+__all__ = [
+    "CandidateBudgetError",
+    "PairLedger",
+    "coblock_pair_arrays",
+    "condensed_indices",
+    "doomed_pair_keys",
+    "iter_pair_chunks",
+    "join_labels",
+    "low_weight_pairs",
+]
+
+
+class CandidateBudgetError(PartitionError):
+    """Raised when a sparse enumeration would exceed its candidate budget.
+
+    The sparse fault graph is designed for machine sets whose low-weight
+    pair structure is genuinely sparse; when a requested enumeration
+    would materialise close to the full ``O(B^2)`` pair space anyway, it
+    refuses instead of silently allocating gigabytes.  Callers either
+    lower the weight cap or fall back to the dense engine.
+    """
+
+
+#: Shared upper-triangular index arrays keyed by the number of states.
+#: Every dense graph over ``n`` states uses the same two read-only
+#: arrays, so repeated fusion calls pay the ``triu_indices`` cost once.
+_CONDENSED_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+_CONDENSED_CACHE_LIMIT = 32
+
+#: Default ceiling on materialised candidate pairs for one sparse
+#: enumeration (:func:`low_weight_pairs`).  ~50M int64 triples is a few
+#: hundred MB of transient memory — far below the dense engine's cost at
+#: the sizes where the sparse path engages.
+DEFAULT_CANDIDATE_BUDGET = 50_000_000
+
+
+def condensed_indices(num_states: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The (cached, read-only) ``i`` and ``j`` arrays of all pairs ``i < j``.
+
+    This is the index layout of the *dense* condensed weight vector; it
+    materialises all ``n (n - 1) / 2`` pairs and is therefore only used
+    below the sparse cutoffs (or for per-block pair generation, where
+    ``n`` is a block size).
+    """
+    cached = _CONDENSED_CACHE.get(num_states)
+    if cached is None:
+        rows, cols = np.triu_indices(num_states, k=1)
+        rows.setflags(write=False)
+        cols.setflags(write=False)
+        cached = (rows, cols)
+        while len(_CONDENSED_CACHE) >= _CONDENSED_CACHE_LIMIT:
+            _CONDENSED_CACHE.pop(next(iter(_CONDENSED_CACHE)))
+        _CONDENSED_CACHE[num_states] = cached
+    return cached
+
+
+def iter_pair_chunks(
+    num_items: int, chunk_size: int = 16384
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(rows, cols)`` chunks of all pairs ``i < j`` in condensed order.
+
+    The condensed (lexicographic) order is the order the dense engine
+    scans, so consumers that must stay byte-identical to it simply
+    iterate the chunks in sequence.  Peak memory is ``O(chunk_size)``
+    instead of the ``O(n^2)`` of :func:`condensed_indices`.
+    """
+    pending_rows: List[np.ndarray] = []
+    pending_cols: List[np.ndarray] = []
+    pending = 0
+    for row in range(num_items - 1):
+        cols = np.arange(row + 1, num_items, dtype=np.int64)
+        pending_rows.append(np.full(cols.size, row, dtype=np.int64))
+        pending_cols.append(cols)
+        pending += cols.size
+        while pending >= chunk_size:
+            rows_cat = np.concatenate(pending_rows)
+            cols_cat = np.concatenate(pending_cols)
+            yield rows_cat[:chunk_size], cols_cat[:chunk_size]
+            pending_rows = [rows_cat[chunk_size:]]
+            pending_cols = [cols_cat[chunk_size:]]
+            pending -= chunk_size
+    if pending:
+        yield np.concatenate(pending_rows), np.concatenate(pending_cols)
+
+
+def join_labels(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Canonical labels of the join (coarsest common refinement) of two
+    block-label vectors: two elements share a joined block iff they share
+    a block in both operands."""
+    paired = first.astype(np.int64) * (int(second.max()) + 1) + second
+    return _canonicalise(paired)
+
+
+def coblock_pair_arrays(
+    labels: np.ndarray, sort: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All pairs ``i < j`` sharing a block of ``labels``, in condensed order.
+
+    Memory and time are ``O(nnz)`` where ``nnz = sum_b C(|block_b|, 2)``;
+    nothing proportional to the full pair space is touched.  With
+    ``sort=False`` the pairs come back grouped by block instead of in
+    condensed order (callers that re-sort anyway skip a full argsort).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    order = np.argsort(labels, kind="stable")  # members ascend within a block
+    sorted_labels = labels[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [labels.size]))
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        size = end - start
+        if size < 2:
+            continue
+        members = order[start:end]
+        local_rows, local_cols = condensed_indices(size)
+        rows_parts.append(members[local_rows])
+        cols_parts.append(members[local_cols])
+    if not rows_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    if not sort:
+        return rows, cols
+    keys = rows * labels.size + cols
+    sorter = np.argsort(keys, kind="stable")
+    return rows[sorter], cols[sorter]
+
+
+def _coblock_pair_estimate(labels: np.ndarray) -> int:
+    """Number of pairs :func:`coblock_pair_arrays` would return, in O(n)."""
+    counts = np.bincount(labels)
+    return int((counts * (counts - 1) // 2).sum())
+
+
+def low_weight_pairs(
+    partitions: Sequence[Partition],
+    num_states: int,
+    cap: int,
+    budget: int = DEFAULT_CANDIDATE_BUDGET,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Every pair whose fault-graph weight is below ``cap``, exactly.
+
+    The weight of a pair is the number of ``partitions`` separating it.
+    A pair separated by fewer than ``cap`` machines must, by pigeonhole,
+    agree with *every* machine of at least one of ``cap`` disjoint
+    machine groups — i.e. lie inside one block of that group's joined
+    partition.  Candidates are therefore enumerated per group from the
+    join's co-block pairs (``O(nnz)``), given exact weights with one
+    vectorised pass per machine, and filtered; the full ``O(B^2)`` pair
+    space is never touched.
+
+    Requires ``1 <= cap <= len(partitions)`` (with ``cap > m`` every pair
+    would qualify, which is inherently dense).  Raises
+    :class:`CandidateBudgetError` when a group's candidate count exceeds
+    ``budget``.
+
+    Returns ``(rows, cols, weights)`` sorted in condensed order.
+    """
+    num_machines = len(partitions)
+    if not 1 <= cap <= num_machines:
+        raise PartitionError(
+            "low_weight_pairs needs 1 <= cap <= num_machines, got cap=%d, m=%d"
+            % (cap, num_machines)
+        )
+    all_keys: List[np.ndarray] = []
+    all_weights: List[np.ndarray] = []
+    for group_index in range(cap):
+        members = partitions[group_index::cap]  # round-robin split
+        others = [p for i, p in enumerate(partitions) if i % cap != group_index]
+        joined = members[0].labels
+        for partition in members[1:]:
+            joined = join_labels(joined, partition.labels)
+        estimate = _coblock_pair_estimate(joined)
+        if estimate > budget:
+            raise CandidateBudgetError(
+                "sparse enumeration would materialise %d candidate pairs "
+                "(budget %d); the machine set is not sparse at cap=%d"
+                % (estimate, budget, cap)
+            )
+        rows, cols = coblock_pair_arrays(joined, sort=False)
+        if rows.size == 0:
+            continue
+        # Candidates agree with every group member by construction, so
+        # only the other machines can add weight.  Accumulate their
+        # separations one at a time, compressing away candidates as soon
+        # as they reach the cap (weights only ever grow): on sparse
+        # workloads the candidate set collapses after the first few
+        # machines, so the remaining passes touch a fraction of it.
+        weights = np.zeros(rows.size, dtype=np.int64)
+        seen_machines = 0
+        for partition in others:
+            labels = partition.labels
+            weights += labels[rows] != labels[cols]
+            seen_machines += 1
+            if seen_machines >= cap and rows.size:
+                keep = weights < cap
+                if keep.mean() < 0.75:
+                    rows = rows[keep]
+                    cols = cols[keep]
+                    weights = weights[keep]
+        keep = weights < cap
+        all_keys.append(rows[keep] * num_states + cols[keep])
+        all_weights.append(weights[keep])
+    if not all_keys:
+        empty = np.empty(0, dtype=np.int64)
+        return empty.copy(), empty.copy(), empty.copy()
+    keys = np.concatenate(all_keys)
+    weights = np.concatenate(all_weights)
+    unique_keys, first = np.unique(keys, return_index=True)  # sorted = condensed order
+    return unique_keys // num_states, unique_keys % num_states, weights[first]
+
+
+class PairLedger:
+    """Sparse fault-graph weights: exact for every pair below ``cap``.
+
+    Invariant: ``weights[k] < cap`` for every stored pair, entries are
+    sorted in condensed order, and every pair *not* stored has weight at
+    least ``cap``.  Folding in another machine can only increase weights,
+    so the invariant survives :meth:`fold` (entries reaching the cap are
+    dropped); learning about *smaller* caps never happens, and larger
+    caps require a rebuild from the partition list
+    (:meth:`from_partitions`), which the fault graph performs on demand.
+    """
+
+    __slots__ = ("num_states", "cap", "rows", "cols", "weights")
+
+    def __init__(
+        self,
+        num_states: int,
+        cap: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.num_states = int(num_states)
+        self.cap = int(cap)
+        for array in (rows, cols, weights):
+            array.setflags(write=False)
+        self.rows = rows
+        self.cols = cols
+        self.weights = weights
+
+    @classmethod
+    def from_partitions(
+        cls,
+        partitions: Sequence[Partition],
+        num_states: int,
+        cap: int,
+        budget: int = DEFAULT_CANDIDATE_BUDGET,
+    ) -> "PairLedger":
+        cap = min(int(cap), len(partitions))
+        rows, cols, weights = low_weight_pairs(
+            partitions, num_states, cap, budget=budget
+        )
+        return cls(num_states, cap, rows, cols, weights)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (known-exactly) pairs."""
+        return int(self.rows.size)
+
+    def min_weight(self) -> Optional[int]:
+        """The least stored weight, or ``None`` when nothing is below the cap."""
+        if self.rows.size == 0:
+            return None
+        return int(self.weights.min())
+
+    def pairs_with_weight(self, weight: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored pairs of exactly ``weight``, in condensed order.
+
+        Complete whenever ``weight < cap`` (pairs outside the ledger are
+        at least ``cap``).
+        """
+        mask = self.weights == weight
+        return self.rows[mask], self.cols[mask]
+
+    def pairs_below(self, threshold: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored pairs with weight strictly below ``threshold``.
+
+        Complete whenever ``threshold <= cap``.
+        """
+        mask = self.weights < threshold
+        return self.rows[mask], self.cols[mask]
+
+    def fold(self, labels: np.ndarray) -> "PairLedger":
+        """Ledger of the graph with one more machine folded in.
+
+        One vectorised comparison over the stored pairs; entries whose
+        weight reaches the cap are dropped (they can never come back
+        below it).
+        """
+        if self.rows.size == 0:
+            return PairLedger(self.num_states, self.cap, self.rows, self.cols, self.weights)
+        new_weights = self.weights + (labels[self.rows] != labels[self.cols])
+        keep = new_weights < self.cap
+        return PairLedger(
+            self.num_states,
+            self.cap,
+            self.rows[keep],
+            self.cols[keep],
+            new_weights[keep],
+        )
+
+    def fold_min(self, labels: np.ndarray) -> Optional[int]:
+        """``min_weight()`` of the hypothetical :meth:`fold`, allocation-light.
+
+        ``None`` means "at least ``cap``" (exact value unknown without a
+        rebuild at a higher cap).
+        """
+        if self.rows.size == 0:
+            return None
+        new_weights = self.weights + (labels[self.rows] != labels[self.cols])
+        least = int(new_weights.min())
+        return least if least < self.cap else None
+
+
+def doomed_pair_keys(
+    quotient: np.ndarray,
+    weak_a: np.ndarray,
+    weak_b: np.ndarray,
+    num_blocks: int,
+    budget: int = DEFAULT_CANDIDATE_BUDGET,
+    max_rounds: int = 64,
+) -> np.ndarray:
+    """Sparse backward fixpoint of the pair-implication pruning filter.
+
+    Merging blocks ``(a, b)`` of a closed partition forces merging
+    ``(δ(a, e), δ(b, e))`` for every event ``e``; a merge candidate is
+    *doomed* when some chain of those implications reaches a weakest
+    edge.  The dense engine materialises this as a boolean ``(B, B)``
+    fixpoint; here the doomed set is kept as sorted canonical pair keys
+    ``a * B + b`` (``a < b``) and grown backwards — each round expands
+    only the *newly* doomed frontier through the per-event preimage
+    adjacency (CSR over ``argsort``), so work and memory follow the
+    sparse implication structure rather than the pair space.
+
+    Stopping early (round limit or ``budget`` on expanded predecessor
+    pairs) is sound: every returned key provably dooms its candidate, so
+    a truncated fixpoint only prunes less.  Returns the sorted key array.
+    """
+    weak_lo = np.minimum(weak_a, weak_b).astype(np.int64)
+    weak_hi = np.maximum(weak_a, weak_b).astype(np.int64)
+    doomed = np.unique(weak_lo * num_blocks + weak_hi)
+    if quotient.size == 0 or doomed.size == 0:
+        return doomed
+
+    num_events = quotient.shape[1]
+    # Per-event preimage adjacency in CSR form.
+    event_order: List[np.ndarray] = []
+    event_counts: List[np.ndarray] = []
+    event_indptr: List[np.ndarray] = []
+    for event in range(num_events):
+        image = quotient[:, event]
+        event_order.append(np.argsort(image, kind="stable").astype(np.int64))
+        counts = np.bincount(image, minlength=num_blocks).astype(np.int64)
+        event_counts.append(counts)
+        event_indptr.append(np.concatenate(([0], np.cumsum(counts))))
+
+    frontier = doomed
+    spent = 0
+    for _ in range(max_rounds):
+        if frontier.size == 0:
+            break
+        upper = frontier // num_blocks
+        lower = frontier % num_blocks
+        new_parts: List[np.ndarray] = []
+        for event in range(num_events):
+            counts = event_counts[event]
+            count_u = counts[upper]
+            count_v = counts[lower]
+            totals = count_u * count_v
+            grand = int(totals.sum())
+            if grand == 0:
+                continue
+            spent += grand
+            if spent > budget:
+                return doomed  # sound early stop
+            order = event_order[event]
+            indptr = event_indptr[event]
+            key_of_out = np.repeat(np.arange(frontier.size, dtype=np.int64), totals)
+            offsets = np.arange(grand, dtype=np.int64) - np.repeat(
+                np.concatenate(([0], np.cumsum(totals)[:-1])), totals
+            )
+            nv = count_v[key_of_out]
+            pre_u = order[indptr[upper[key_of_out]] + offsets // nv]
+            pre_v = order[indptr[lower[key_of_out]] + offsets % nv]
+            lo = np.minimum(pre_u, pre_v)
+            hi = np.maximum(pre_u, pre_v)
+            distinct = lo != hi
+            new_parts.append(lo[distinct] * num_blocks + hi[distinct])
+        if not new_parts:
+            break
+        candidates = np.unique(np.concatenate(new_parts))
+        fresh = candidates[~_sorted_contains(doomed, candidates)]
+        if fresh.size == 0:
+            break
+        doomed = np.union1d(doomed, fresh)
+        frontier = fresh
+    return doomed
+
+
+def _sorted_contains(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``queries`` in the sorted unique ``sorted_keys``."""
+    positions = np.searchsorted(sorted_keys, queries, side="left")
+    positions = np.minimum(positions, sorted_keys.size - 1)
+    return sorted_keys[positions] == queries
+
+
+def sorted_key_membership(
+    sorted_keys: np.ndarray, rows: np.ndarray, cols: np.ndarray, num_blocks: int
+) -> np.ndarray:
+    """Membership mask of the pairs ``(rows, cols)`` in a sorted key set."""
+    if sorted_keys.size == 0:
+        return np.zeros(rows.size, dtype=bool)
+    return _sorted_contains(sorted_keys, rows * num_blocks + cols)

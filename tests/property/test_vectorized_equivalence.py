@@ -6,6 +6,12 @@ filter) re-implements operations that have short, obviously-correct
 formulations.  These tests pit each fast path against such a reference on
 random machines and partitions, so any future optimisation that drifts
 semantically fails here first.
+
+The sparse engine extends the same harness naturally: the dense
+condensed engine — itself validated against the references above — is
+the reference for the sparse ledger graph, the sparse pruning fixpoint,
+the vectorised product exploration and the sparse lattice descent
+(``TestSparseEngineEquivalence``), on the full random-machine corpus.
 """
 
 from __future__ import annotations
@@ -14,7 +20,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import FaultGraph, Partition
+import repro.core.fault_graph as fault_graph_module
+import repro.core.fusion as fusion_module
+from repro import CrossProduct, FaultGraph, Partition, generate_fusion
 from repro.core.fault_graph import condensed_indices, separation_matrix
 from repro.core.fusion import _doomed_pairs
 from repro.core.partition import (
@@ -24,8 +32,15 @@ from repro.core.partition import (
     is_closed_partition,
     quotient_table,
 )
+from repro.core.sparse import (
+    PairLedger,
+    coblock_pair_arrays,
+    doomed_pair_keys,
+    iter_pair_chunks,
+    low_weight_pairs,
+)
 
-from .strategies import dfsm_strategy, partition_strategy
+from .strategies import dfsm_strategy, machine_set_strategy, partition_strategy
 
 
 # ----------------------------------------------------------------------
@@ -207,3 +222,176 @@ class TestDoomedPairsSoundness:
                     assert not separates, (
                         "pair (%d, %d) was pruned but separates all weakest edges" % (a, b)
                     )
+
+
+# ----------------------------------------------------------------------
+# Sparse engine vs the dense engine
+# ----------------------------------------------------------------------
+class TestSparsePrimitives:
+    @given(
+        st.integers(min_value=1, max_value=9).flatmap(
+            lambda n: partition_strategy(n)
+        )
+    )
+    def test_coblock_pairs_match_brute_force(self, partition):
+        labels = partition.labels
+        rows, cols = coblock_pair_arrays(labels)
+        expected = [
+            (i, j)
+            for i in range(labels.size)
+            for j in range(i + 1, labels.size)
+            if labels[i] == labels[j]
+        ]
+        assert list(zip(rows.tolist(), cols.tolist())) == expected
+
+    @given(st.integers(min_value=0, max_value=40), st.integers(min_value=1, max_value=7))
+    def test_pair_chunks_cover_condensed_order(self, n, chunk):
+        chunks = list(iter_pair_chunks(n, chunk_size=chunk))
+        rows = np.concatenate([r for r, _ in chunks]) if chunks else np.empty(0, int)
+        cols = np.concatenate([c for _, c in chunks]) if chunks else np.empty(0, int)
+        if n >= 2:
+            ref_rows, ref_cols = condensed_indices(n)
+            assert np.array_equal(rows, ref_rows)
+            assert np.array_equal(cols, ref_cols)
+        else:
+            assert rows.size == 0
+
+    @given(
+        st.integers(min_value=2, max_value=8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(partition_strategy(n), min_size=1, max_size=5),
+                st.integers(min_value=1, max_value=5),
+            )
+        )
+    )
+    def test_low_weight_pairs_match_brute_force(self, payload):
+        n, partitions, cap = payload
+        cap = min(cap, len(partitions))
+        rows, cols, weights = low_weight_pairs(partitions, n, cap)
+        got = {
+            (i, j): w
+            for i, j, w in zip(rows.tolist(), cols.tolist(), weights.tolist())
+        }
+        expected = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                w = sum(1 for p in partitions if p.labels[i] != p.labels[j])
+                if w < cap:
+                    expected[(i, j)] = w
+        assert got == expected
+
+    @given(
+        st.integers(min_value=2, max_value=8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(partition_strategy(n), min_size=1, max_size=4),
+                partition_strategy(n),
+            )
+        )
+    )
+    def test_ledger_fold_matches_rebuild(self, payload):
+        n, partitions, extra = payload
+        ledger = PairLedger.from_partitions(partitions, n, cap=len(partitions))
+        folded = ledger.fold(extra.labels)
+        rebuilt = PairLedger.from_partitions(
+            partitions + [extra], n, cap=ledger.cap
+        )
+        assert folded.cap == rebuilt.cap
+        assert np.array_equal(folded.rows, rebuilt.rows)
+        assert np.array_equal(folded.cols, rebuilt.cols)
+        assert np.array_equal(folded.weights, rebuilt.weights)
+        assert folded.min_weight() == rebuilt.min_weight()
+
+    @settings(max_examples=60)
+    @given(dfsm_strategy(max_states=6, num_events=2), st.data())
+    def test_sparse_doomed_keys_equal_dense_fixpoint(self, machine, data):
+        """The sparse backward fixpoint finds the same doomed set."""
+        n = machine.num_states
+        if n < 2:
+            return
+        quotient = quotient_table(machine, Partition.identity(n))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(
+            st.lists(st.sampled_from(pairs), min_size=1, max_size=len(pairs))
+        )
+        weak_a = np.asarray([p[0] for p in chosen], dtype=np.int64)
+        weak_b = np.asarray([p[1] for p in chosen], dtype=np.int64)
+        dense = _doomed_pairs(quotient, weak_a, weak_b, n)
+        dense_keys = sorted(
+            i * n + j for i in range(n) for j in range(i + 1, n) if dense[i, j]
+        )
+        sparse_keys = doomed_pair_keys(quotient, weak_a, weak_b, n)
+        assert sparse_keys.tolist() == dense_keys
+
+
+class TestSparseGraphEquivalence:
+    @given(graph_strategy(max_states=6, max_machines=4), st.data())
+    def test_sparse_graph_matches_dense(self, dense, data):
+        sparse = FaultGraph(
+            dense.num_states,
+            dense.partitions,
+            mode="sparse",
+            weight_cap=data.draw(st.integers(min_value=1, max_value=4)),
+        )
+        assert sparse.dmin() == dense.dmin()
+        assert sparse.weakest_edges() == dense.weakest_edges()
+        for threshold in range(0, dense.num_machines + 2):
+            assert sparse.edges_below(threshold) == dense.edges_below(threshold)
+        for i in range(dense.num_states):
+            for j in range(dense.num_states):
+                assert sparse.distance(i, j) == dense.distance(i, j)
+        extra = data.draw(partition_strategy(dense.num_states))
+        assert sparse.dmin_with(extra) == dense.dmin_with(extra)
+        sparse_child = sparse.with_partition(extra)
+        dense_child = dense.with_partition(extra)
+        assert sparse_child.is_sparse
+        assert sparse_child.dmin() == dense_child.dmin()
+        assert sparse_child.weakest_edges() == dense_child.weakest_edges()
+        # Small sparse graphs may materialise the dense export on demand.
+        assert np.array_equal(sparse.condensed_weights, dense.condensed_weights)
+
+
+class TestSparseEngineEquivalence:
+    """End-to-end: sparse descent + ledger graph == dense engine."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(machine_set_strategy(max_machines=3, max_states=3), st.integers(0, 2))
+    def test_generate_fusion_sparse_equals_dense(self, machines, f):
+        dense_result = generate_fusion(machines, f=f)
+        saved = (
+            fault_graph_module.SPARSE_STATE_CUTOFF,
+            fusion_module.DESCENT_SPARSE_CUTOFF,
+        )
+        fault_graph_module.SPARSE_STATE_CUTOFF = 1
+        fusion_module.DESCENT_SPARSE_CUTOFF = 1
+        try:
+            sparse_result = generate_fusion(machines, f=f)
+        finally:
+            (
+                fault_graph_module.SPARSE_STATE_CUTOFF,
+                fusion_module.DESCENT_SPARSE_CUTOFF,
+            ) = saved
+        assert sparse_result.graph.is_sparse or sparse_result.top_size == 1
+        assert sparse_result.summary() == dense_result.summary()
+        assert [tuple(p.labels) for p in sparse_result.partitions] == [
+            tuple(p.labels) for p in dense_result.partitions
+        ]
+        for ours, theirs in zip(sparse_result.backups, dense_result.backups):
+            assert np.array_equal(ours.transition_table, theirs.transition_table)
+
+    @settings(max_examples=30, deadline=None)
+    @given(machine_set_strategy(max_machines=3, max_states=3))
+    def test_product_vectorized_equals_scalar(self, machines):
+        vectorized = CrossProduct(machines)
+
+        class ScalarOnly(CrossProduct):
+            def _explore(self, initial, event_columns, num_events):
+                return self._explore_scalar(initial, event_columns, num_events)
+
+        scalar = ScalarOnly(machines)
+        assert vectorized.state_tuples() == scalar.state_tuples()
+        assert np.array_equal(
+            vectorized.machine.transition_table, scalar.machine.transition_table
+        )
+        assert np.array_equal(vectorized.projections(), scalar.projections())

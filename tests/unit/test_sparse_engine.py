@@ -1,0 +1,197 @@
+"""Unit tests for the sparse engine: ledger, cutoffs, and the worker pool.
+
+The property suite (``tests/property/test_vectorized_equivalence.py``)
+establishes sparse-vs-dense equivalence statistically; these tests pin
+down the discrete behaviours — cap clamping and escalation, the refusal
+to materialise dense exports on large sparse graphs, worker-count
+resolution, and the byte-identity of the serial and multi-process
+closure paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.fault_graph as fault_graph_module
+import repro.core.fusion as fusion_module
+from repro.core.exceptions import PartitionError
+from repro.core.fault_graph import FaultGraph
+from repro.core.fusion import generate_fusion, resolve_workers
+from repro.core.partition import Partition
+from repro.core.sparse import (
+    CandidateBudgetError,
+    PairLedger,
+    iter_pair_chunks,
+    low_weight_pairs,
+)
+from repro.machines import mod_counter
+
+
+@pytest.fixture
+def forced_sparse(monkeypatch):
+    """Force the sparse graph, descent and pool paths regardless of size."""
+    monkeypatch.setattr(fault_graph_module, "SPARSE_STATE_CUTOFF", 1)
+    monkeypatch.setattr(fusion_module, "DESCENT_SPARSE_CUTOFF", 1)
+    # Disable the spawn-cost gate so workers>1 really exercises the pool
+    # even on these deliberately small machines.
+    monkeypatch.setattr(fusion_module, "_POOL_MIN_SURVIVORS", 0)
+
+
+def counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# PairLedger
+# ----------------------------------------------------------------------
+class TestPairLedger:
+    def test_cap_is_clamped_to_machine_count(self):
+        parts = [Partition([0, 0, 1]), Partition([0, 1, 1])]
+        ledger = PairLedger.from_partitions(parts, 3, cap=10)
+        assert ledger.cap == 2
+
+    def test_unlisted_pairs_are_at_least_cap(self):
+        parts = [Partition([0, 1, 2]), Partition([0, 1, 2])]  # all pairs weight 2
+        ledger = PairLedger.from_partitions(parts, 3, cap=2)
+        assert ledger.nnz == 0 and ledger.min_weight() is None
+
+    def test_fold_drops_pairs_reaching_cap(self):
+        parts = [Partition([0, 0, 1])]  # pair (0,1) weight 0
+        ledger = PairLedger.from_partitions(parts, 3, cap=1)
+        assert ledger.nnz == 1 and ledger.min_weight() == 0
+        folded = ledger.fold(Partition([0, 1, 1]).labels)  # now weight 1 == cap
+        assert folded.nnz == 0 and folded.min_weight() is None
+
+    def test_low_weight_pairs_rejects_bad_cap(self):
+        parts = [Partition([0, 0, 1])]
+        with pytest.raises(PartitionError):
+            low_weight_pairs(parts, 3, cap=0)
+        with pytest.raises(PartitionError):
+            low_weight_pairs(parts, 3, cap=2)
+
+    def test_budget_refusal(self):
+        parts = [Partition(np.zeros(64, dtype=np.int64))]  # one 64-state block
+        with pytest.raises(CandidateBudgetError):
+            low_weight_pairs(parts, 64, cap=1, budget=10)
+
+
+# ----------------------------------------------------------------------
+# Sparse FaultGraph behaviours
+# ----------------------------------------------------------------------
+class TestSparseFaultGraph:
+    def test_auto_mode_respects_cutoff(self, monkeypatch):
+        parts = [Partition([0, 0, 1, 1])]
+        assert not FaultGraph(4, parts).is_sparse
+        monkeypatch.setattr(fault_graph_module, "SPARSE_STATE_CUTOFF", 3)
+        assert FaultGraph(4, parts).is_sparse
+
+    def test_dense_exports_refused_above_cutoff(self, monkeypatch):
+        monkeypatch.setattr(fault_graph_module, "DENSE_EXPORT_LIMIT", 3)
+        graph = FaultGraph(5, [Partition([0, 0, 1, 1, 2])], mode="sparse")
+        with pytest.raises(PartitionError):
+            graph.condensed_weights
+        with pytest.raises(PartitionError):
+            graph.weight_matrix
+        with pytest.raises(PartitionError):
+            graph.edges()
+        # The sparse queries still work.
+        assert graph.dmin() == 0
+        assert graph.weakest_edges() == [(0, 1), (2, 3)]
+
+    def test_small_sparse_graph_materialises_dense_exports(self):
+        parts = [Partition([0, 0, 1])]
+        sparse = FaultGraph(3, parts, mode="sparse")
+        dense = FaultGraph(3, parts, mode="dense")
+        assert np.array_equal(sparse.condensed_weights, dense.condensed_weights)
+        assert np.array_equal(sparse.weight_matrix, dense.weight_matrix)
+        assert sparse.edges() == dense.edges()
+
+    def test_cap_escalation_reaches_exact_dmin(self):
+        # Every pair separated by both machines: dmin == m == 2, which a
+        # cap-1 ledger can only learn by escalating.
+        parts = [Partition([0, 1, 2]), Partition([2, 1, 0])]
+        graph = FaultGraph(3, parts, mode="sparse", weight_cap=1)
+        assert graph.dmin() == 2
+        assert len(graph.weakest_edges()) == 3  # uniform graph: all pairs
+
+    def test_zero_machine_sparse_graph(self):
+        graph = FaultGraph(3, [], mode="sparse")
+        assert graph.dmin() == 0
+        assert graph.weakest_edges() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_mode_validation(self):
+        with pytest.raises(PartitionError):
+            FaultGraph(2, [], mode="dense-ish")
+        with pytest.raises(PartitionError):
+            FaultGraph(2, [], mode="sparse", weight_cap=0)
+
+
+# ----------------------------------------------------------------------
+# Worker resolution and the pooled descent
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_resolve_workers_explicit_wins(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(10**6) == fusion_module._MAX_WORKERS
+
+    def test_resolve_workers_serial_under_pytest(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FUSION_WORKERS", raising=False)
+        # PYTEST_CURRENT_TEST is set right now, so the default is serial.
+        assert resolve_workers(None) == 0
+
+    def test_resolve_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSION_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.setenv("REPRO_FUSION_WORKERS", "not-a-number")
+        with pytest.raises(fusion_module.FusionError):
+            resolve_workers(None)
+
+    def test_iter_pair_chunks_tiny(self):
+        assert list(iter_pair_chunks(0)) == []
+        assert list(iter_pair_chunks(1)) == []
+        ((rows, cols),) = list(iter_pair_chunks(2))
+        assert rows.tolist() == [0] and cols.tolist() == [1]
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_pool_matches_serial_exactly(self, forced_sparse, workers):
+        """max_workers=1 vs >1 must be byte-identical (same partitions)."""
+        serial = generate_fusion(counters(5), f=1, workers=1)
+        pooled = generate_fusion(counters(5), f=1, workers=workers)
+        assert pooled.summary() == serial.summary()
+        assert [tuple(p.labels) for p in pooled.partitions] == [
+            tuple(p.labels) for p in serial.partitions
+        ]
+        for ours, theirs in zip(pooled.backups, serial.backups):
+            assert np.array_equal(ours.transition_table, theirs.transition_table)
+
+    def test_pool_matches_serial_on_protocol_mix(self, forced_sparse):
+        """A failure-dominated workload actually exercises batched pruning."""
+        from repro.machines import mesi, shift_register
+
+        machines = [
+            mesi(),
+            mod_counter(3, "local_read", events=mesi().events, name="rd-ctr"),
+            shift_register(
+                3, bit_events=("local_read", "local_write"), events=mesi().events, name="sr"
+            ),
+        ]
+        serial = generate_fusion(machines, f=1, workers=1)
+        pooled = generate_fusion(machines, f=1, workers=2)
+        assert pooled.summary() == serial.summary()
+        assert [tuple(p.labels) for p in pooled.partitions] == [
+            tuple(p.labels) for p in serial.partitions
+        ]
+
+    def test_sparse_serial_matches_dense_engine(self, forced_sparse):
+        sparse = generate_fusion(counters(4), f=1)
+        assert sparse.graph.is_sparse
+        # Recompute with the real cutoffs (dense) in a fresh interpreter
+        # state: the frozen expected values from the dense engine.
+        assert sparse.summary()["backup_sizes"] == [3]
+        assert sparse.summary()["final_dmin"] == 2
