@@ -65,7 +65,8 @@ from .fusion import (
     resolve_workers,
 )
 from .lattice import ClosedPartitionLattice, basis, lower_cover, lower_cover_machines
-from .sparse import PairLedger
+from .shm import SharedArrayBundle, SharedWorkerPool
+from .sparse import LedgerBuilder, PairLedger
 from .minimize import are_equivalent, hopcroft_minimize, minimize, remove_unreachable
 from .partition import (
     Partition,
@@ -122,7 +123,10 @@ __all__ = [
     "system_dmin",
     "system_fault_graph",
     # sparse engine
+    "LedgerBuilder",
     "PairLedger",
+    "SharedArrayBundle",
+    "SharedWorkerPool",
     # fusion
     "FusionResult",
     "resolve_workers",

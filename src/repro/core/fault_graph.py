@@ -25,9 +25,12 @@ vector is ``O(n^2)`` and caps ``|top|`` at a few thousand states, but the
 fusion algorithm only ever consumes the *low-weight* end of the spectrum
 (``dmin`` and the weakest edges).  Sparse mode therefore stores a
 :class:`repro.core.sparse.PairLedger`: exact weights for every pair
-below a cap, found by a pigeonhole join over machine groups in
-``O(nnz)``, with the cap escalated (and the ledger rebuilt) on the rare
-occasions a caller asks about heavier edges.  All answers remain exact —
+below a cap, found by a recursive pigeonhole join over machine groups
+in ``O(nnz)``, with the cap escalated on the rare occasions a caller
+asks about heavier edges — incrementally, through the chain-shared
+:class:`repro.core.sparse.LedgerBuilder`: only the base machines are
+re-joined (cached per cap) and machines added since are folded back in,
+never a full rebuild.  All answers remain exact —
 the two modes are byte-identical, which
 ``tests/property/test_vectorized_equivalence.py`` checks on random
 machines.
@@ -48,7 +51,8 @@ from .dfsm import DFSM
 from .exceptions import PartitionError
 from .partition import Partition, partition_from_machine
 from .product import CrossProduct
-from .sparse import PairLedger, condensed_indices
+from .shm import SharedWorkerPool
+from .sparse import LedgerBuilder, PairLedger, condensed_indices
 from .types import StateLabel
 
 __all__ = [
@@ -120,6 +124,13 @@ class FaultGraph:
         cap exactly (Algorithm 2 passes its target ``dmin`` plus one).
         Heavier queries trigger an escalating rebuild; answers are exact
         either way.
+    pool:
+        Sparse mode only: an optional
+        :class:`repro.core.shm.SharedWorkerPool` the ledger joins fan
+        out over (label arrays published once via shared memory).  The
+        caller owns the pool's lifetime; after it closes, this graph
+        falls back to serial joins.  Results are byte-identical with or
+        without a pool.
 
     The class is immutable; :meth:`with_partition` returns a new graph
     with one more machine folded in (reusing the existing condensed
@@ -134,6 +145,8 @@ class FaultGraph:
         "_n",
         "_condensed",
         "_ledger",
+        "_builder",
+        "_base_count",
         "_sparse",
         "_weight_cap",
         "_partitions",
@@ -155,9 +168,13 @@ class FaultGraph:
         machine_names: Optional[Sequence[str]] = None,
         mode: str = "auto",
         weight_cap: Optional[int] = None,
+        pool: Optional[SharedWorkerPool] = None,
         _weights: Optional[np.ndarray] = None,
         _condensed: Optional[np.ndarray] = None,
         _ledger: Optional[PairLedger] = None,
+        _builder: Optional[LedgerBuilder] = None,
+        _base_count: Optional[int] = None,
+        _label_rows: Optional[Sequence[np.ndarray]] = None,
     ) -> None:
         if num_states <= 0:
             raise PartitionError("a fault graph needs at least one state")
@@ -195,6 +212,26 @@ class FaultGraph:
         if self._weight_cap < 1:
             raise PartitionError("weight_cap must be at least 1")
         self._ledger: Optional[PairLedger] = _ledger
+        if self._sparse:
+            # The builder is the shared join substrate of a whole
+            # ``with_partition`` chain: the *base* machines (this graph's
+            # partitions, for a fresh graph) are joined at most once per
+            # cap, and descendants treat their added backups as fold
+            # deltas on top (see :meth:`_ensure_ledger`).  Construction
+            # is free — no join runs until a weight query needs one.
+            self._builder = (
+                _builder
+                if _builder is not None
+                else LedgerBuilder(
+                    self._partitions, self._n, pool=pool, label_rows=_label_rows
+                )
+            )
+            self._base_count = (
+                int(_base_count) if _base_count is not None else len(self._partitions)
+            )
+        else:
+            self._builder = None
+            self._base_count = 0
         self._condensed: Optional[np.ndarray] = None
         if not self._sparse:
             rows, cols = condensed_indices(self._n)
@@ -233,6 +270,7 @@ class FaultGraph:
         machines: Sequence[DFSM],
         mode: str = "auto",
         weight_cap: Optional[int] = None,
+        pool: Optional[SharedWorkerPool] = None,
     ) -> "FaultGraph":
         """Build ``G(top, machines)`` from DFSMs, using Algorithm 1 for each.
 
@@ -246,6 +284,7 @@ class FaultGraph:
             machine_names=[m.name for m in machines],
             mode=mode,
             weight_cap=weight_cap,
+            pool=pool,
         )
 
     @classmethod
@@ -254,12 +293,15 @@ class FaultGraph:
         product: CrossProduct,
         mode: str = "auto",
         weight_cap: Optional[int] = None,
+        pool: Optional[SharedWorkerPool] = None,
     ) -> "FaultGraph":
         """Fault graph of the component machines of a :class:`CrossProduct`.
 
         Uses the product's cached component partitions directly, avoiding
         both the lockstep walks of Algorithm 1 and re-canonicalising the
-        projections on every fusion call.
+        projections on every fusion call; a sparse graph's ledger joins
+        likewise reuse the product's cached narrow label matrix
+        (:meth:`CrossProduct.component_label_matrix`).
         """
         return cls(
             product.num_states,
@@ -268,6 +310,8 @@ class FaultGraph:
             machine_names=[m.name for m in product.components],
             mode=mode,
             weight_cap=weight_cap,
+            pool=pool,
+            _label_rows=product.component_label_matrix(),
         )
 
     # ------------------------------------------------------------------
@@ -376,13 +420,31 @@ class FaultGraph:
 
         Caps are clamped to the machine count (a pair can be separated at
         most ``m`` times, so ``cap == m`` already classifies every pair).
+
+        (Re)builds are incremental: the shared :class:`LedgerBuilder`
+        joins only the *base* machines — a cached result after the first
+        time any graph in this ``with_partition`` chain asked for that
+        cap — and the partitions added since (the backups of a running
+        fusion) are folded in with one vectorised pass each.  A pair's
+        total weight is at least its base weight, so the base ledger at
+        ``cap`` contains every pair the folded ledger keeps, and folding
+        is exact: the result is byte-identical to a from-scratch join
+        over all machines (property-tested).
         """
         num_machines = self.num_machines
         wanted = max(self._weight_cap, min_cap or 1)
         wanted = min(wanted, num_machines)
         ledger = self._ledger
         if ledger is None or ledger.cap < wanted:
-            ledger = PairLedger.from_partitions(self._partitions, self._n, wanted)
+            if self._builder is not None and 0 < wanted <= self._base_count:
+                ledger = self._builder.ledger(
+                    wanted, self._partitions[self._base_count :]
+                )
+            else:
+                # More exactness wanted than the base machines can
+                # pigeonhole (cap must stay ≤ the join's machine count):
+                # fall back to the full join over every partition.
+                ledger = PairLedger.from_partitions(self._partitions, self._n, wanted)
             self._ledger = ledger
         return ledger
 
@@ -573,6 +635,8 @@ class FaultGraph:
                 mode="sparse",
                 weight_cap=self._weight_cap,
                 _ledger=folded,
+                _builder=self._builder,
+                _base_count=self._base_count,
             )
         rows, cols = condensed_indices(self._n)
         new_condensed = self._condensed + _condensed_separation(partition, rows, cols)

@@ -22,9 +22,19 @@ current block count:
   blocks) enumerates merge candidates lazily in the same order, prunes
   with the sparse backward fixpoint of
   :func:`repro.core.sparse.doomed_pair_keys`, and batches the surviving
-  SP-closures — optionally across a ``ProcessPoolExecutor`` (see
-  :func:`resolve_workers`) — so neither memory nor single-core closure
-  throughput caps ``|top|``.
+  SP-closures — optionally across a persistent
+  :class:`repro.core.shm.SharedWorkerPool` (see :func:`resolve_workers`)
+  — so neither memory nor single-core closure throughput caps ``|top|``.
+
+With ``workers > 1`` a single pool serves the whole generation: the
+ledger build's group joins fan out over it (via the fault graph's
+:class:`repro.core.sparse.LedgerBuilder`), and each descent publishes
+the product's transition table and weakest-edge arrays once through
+shared memory (:class:`_DescentShared`); per level, only the current
+partition's label vector is rewritten into a shared scratch region, and
+workers derive the quotient table and projected weakest edges from the
+shared buffers themselves — tasks carry batch indices and a level id,
+never arrays.
 
 Both engines accept candidates in the same lexicographic order and prune
 only provably-failing candidates, so their results are byte-identical;
@@ -40,8 +50,8 @@ ablation.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future
+from concurrent.futures import wait as _wait_futures
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import (
@@ -67,12 +77,14 @@ from .fault_tolerance import required_dmin
 from .lattice import lower_cover
 from .partition import (
     Partition,
+    _first_of_each_block,
     closure_of_labels,
     machine_from_partition,
     partition_from_machine,
     quotient_table,
 )
 from .product import CrossProduct
+from .shm import _MAX_WORKERS, SharedWorkerPool, attached_arrays, resolve_workers
 from .sparse import doomed_pair_keys, iter_pair_chunks, sorted_key_membership
 
 __all__ = [
@@ -224,43 +236,12 @@ _PAIR_CHUNK = 16384
 #: evaluate candidates in an identical order.
 _CLOSURE_BATCH = 64
 
-#: Hard ceiling on worker processes however the count is configured.
-_MAX_WORKERS = 16
-
 #: Minimum *guaranteed* surviving candidates (remaining pairs minus the
-#: doomed-set size, a lower bound) before a lattice level spins up the
-#: process pool.  Pools are created per level — the initializer ships
-#: that level's quotient table once per worker — so a level whose
-#: post-prune tail is small runs serially rather than paying worker
-#: spawn costs it cannot amortise.
+#: doomed-set size, a lower bound) before a lattice level submits to the
+#: worker pool.  The pool itself persists across levels (and serves the
+#: ledger build too), but task submission and result pickling still cost
+#: more than closing a short post-prune tail in-process.
 _POOL_MIN_SURVIVORS = 256
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """Resolve the closure-batch worker count for the sparse descent.
-
-    ``workers`` wins when given; otherwise the ``REPRO_FUSION_WORKERS``
-    environment variable; otherwise the CPU count — except under pytest
-    (``PYTEST_CURRENT_TEST`` set), where the default is the serial path
-    so test runs stay single-process and deterministic to debug.  Values
-    of 0 or 1 mean serial; anything larger is capped at
-    :data:`_MAX_WORKERS`.  Parallel and serial evaluation are
-    byte-identical — workers only change wall-clock.
-    """
-    if workers is None:
-        env = os.environ.get("REPRO_FUSION_WORKERS", "").strip()
-        if env:
-            try:
-                workers = int(env)
-            except ValueError:
-                raise FusionError(
-                    "REPRO_FUSION_WORKERS must be an integer, got %r" % env
-                ) from None
-        elif "PYTEST_CURRENT_TEST" in os.environ:
-            workers = 0
-        else:
-            workers = os.cpu_count() or 1
-    return max(0, min(int(workers), _MAX_WORKERS))
 
 
 def _doomed_pairs(
@@ -334,26 +315,88 @@ def _evaluate_pair_batch(
     return hits
 
 
-#: Per-process state of pool workers, installed by :func:`_worker_init`.
-_WORKER_STATE: Dict[str, object] = {}
+class _DescentShared:
+    """Shared product buffers + task plumbing for one descent's levels.
+
+    Published once per descent (through the fusion-wide
+    :class:`~repro.core.shm.SharedWorkerPool`): the top's transition
+    table and the descent-constant weakest-edge index arrays, plus a
+    label scratch region the owner rewrites at each level —
+    :meth:`set_level` may only run with no tasks outstanding.  Workers
+    derive the level's quotient table and projected weakest edges from
+    those buffers themselves (:func:`_descent_level_task`), memoised per
+    level id, so tasks pickle nothing but a candidate batch.
+    """
+
+    def __init__(
+        self,
+        pool: SharedWorkerPool,
+        top: DFSM,
+        weak_rows: np.ndarray,
+        weak_cols: np.ndarray,
+        first_only: bool,
+    ) -> None:
+        self._pool = pool
+        self._bundle = pool.publish(
+            {
+                "table": top.transition_table,
+                "weak_rows": weak_rows,
+                "weak_cols": weak_cols,
+                "labels": np.zeros(top.num_states, dtype=np.int64),
+            }
+        )
+        self._meta = self._bundle.meta
+        self._first_only = bool(first_only)
+        self._level = -1
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def set_level(self, base_labels: np.ndarray) -> None:
+        """Install one lattice level's partition labels in the scratch."""
+        self._bundle.arrays["labels"][...] = base_labels
+        self._level += 1
+
+    def submit(self, pairs: np.ndarray) -> Future:
+        return self._pool.submit(
+            _descent_level_task, self._meta, self._level, self._first_only, pairs
+        )
+
+    def retire(self) -> None:
+        """Unlink this descent's buffers (the pool itself lives on)."""
+        self._pool.retire(self._bundle)
 
 
-def _worker_init(
-    quotient: np.ndarray, weak_a: np.ndarray, weak_b: np.ndarray, first_only: bool
-) -> None:
-    """Pool initializer: ship the level's quotient table once per worker."""
-    _WORKER_STATE["quotient"] = quotient
-    _WORKER_STATE["weak_pair"] = (weak_a, weak_b)
-    _WORKER_STATE["first_only"] = first_only
+#: Worker-side memo of the last level's derived arrays, keyed by
+#: (segment name, level id) so a new level — or a new descent's bundle —
+#: recomputes from the shared buffers exactly once per worker.
+_LEVEL_STATE: Dict[str, object] = {}
 
 
-def _worker_evaluate(pairs: np.ndarray) -> List[Tuple[int, np.ndarray]]:
-    """Pool task: evaluate one candidate batch against the worker state."""
+def _descent_level_task(
+    meta: Dict[str, object], level: int, first_only: bool, pairs: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Pool task: evaluate one candidate batch against the shared level.
+
+    The quotient table and the weakest edges projected into block space
+    are recomputed from the shared product buffers on the first task of
+    each level — the identical ``labels[table[representatives]]`` /
+    ``labels[weak]`` gathers the owner performs, so both sides evaluate
+    exactly the same candidate predicate.
+    """
+    key = (meta["segment"], level)
+    if _LEVEL_STATE.get("key") != key:
+        arrays = attached_arrays(meta)
+        labels = arrays["labels"]
+        quotient = labels[arrays["table"][_first_of_each_block(labels), :]]
+        weak_pair = (labels[arrays["weak_rows"]], labels[arrays["weak_cols"]])
+        _LEVEL_STATE.update(key=key, quotient=quotient, weak_pair=weak_pair)
     return _evaluate_pair_batch(
-        _WORKER_STATE["quotient"],  # type: ignore[arg-type]
-        _WORKER_STATE["weak_pair"],  # type: ignore[arg-type]
+        _LEVEL_STATE["quotient"],  # type: ignore[arg-type]
+        _LEVEL_STATE["weak_pair"],  # type: ignore[arg-type]
         pairs,
-        bool(_WORKER_STATE["first_only"]),
+        first_only,
     )
 
 
@@ -364,7 +407,7 @@ def _scan_level_sparse(
     weak_b: np.ndarray,
     num_blocks: int,
     first_mode: bool,
-    workers: int,
+    get_shared: Callable[[], Optional[_DescentShared]],
     measure,
 ) -> Tuple[Optional[Partition], List[Partition]]:
     """Scan one large lattice level without any ``O(B^2)`` structure.
@@ -373,11 +416,13 @@ def _scan_level_sparse(
     lexicographic order; the first :data:`_PRUNE_AFTER_FAILURES`
     rejections are paid optimistically, then the sparse doomed-pair
     fixpoint prunes in bulk and only survivors are closed — in
-    :data:`_CLOSURE_BATCH`-sized batches, either in-process or across a
-    ``ProcessPoolExecutor`` when ``workers > 1``.  Returns ``(chosen,
-    improving)`` with the same semantics as the dense scan: ``chosen``
-    is the first qualifying candidate in first mode, ``improving`` the
-    deduplicated qualifying candidates otherwise.
+    :data:`_CLOSURE_BATCH`-sized batches, either in-process or across
+    the persistent worker pool behind ``get_shared()`` — called, and the
+    buffers published, only once a level actually has enough surviving
+    work to submit.  Returns ``(chosen, improving)`` with the same
+    semantics as the dense
+    scan: ``chosen`` is the first qualifying candidate in first mode,
+    ``improving`` the deduplicated qualifying candidates otherwise.
     """
     weak_pair = (weak_a, weak_b)
     chunk_iter = iter_pair_chunks(num_blocks, _PAIR_CHUNK)
@@ -457,13 +502,13 @@ def _scan_level_sparse(
             yield np.concatenate(pending, axis=0)
 
     # Phase 3 — close the survivors, batched (serially or on the pool).
-    # Remaining pairs minus the doomed-set size lower-bounds the surviving
-    # work; the per-level pool (whose initializer ships this level's
-    # quotient to each worker) is only worth its spawn cost above
-    # _POOL_MIN_SURVIVORS guaranteed candidates.
+    # Remaining pairs minus the doomed-set size lower-bounds the
+    # surviving work; pool submission (task + result pickling) is only
+    # worth it above _POOL_MIN_SURVIVORS guaranteed candidates.
     remaining = num_blocks * (num_blocks - 1) // 2 - consumed
     guaranteed_survivors = remaining - int(doomed.size)
-    if workers <= 1 or guaranteed_survivors < _POOL_MIN_SURVIVORS:
+    shared = get_shared() if guaranteed_survivors >= _POOL_MIN_SURVIVORS else None
+    if shared is None:
         for batch in surviving_batches():
             with measure("closure"):
                 hits = _evaluate_pair_batch(quotient, weak_pair, batch, first_mode)
@@ -473,22 +518,21 @@ def _scan_level_sparse(
                     return (candidate, improving)
         return (None, improving)
 
-    executor = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        initargs=(quotient, weak_a, weak_b, first_mode),
-    )
+    # The pool persists across levels; only this level's labels move —
+    # into the shared scratch, legal here because no tasks are in
+    # flight (the window below is always drained before returning).
+    shared.set_level(base_labels)
+    batches = surviving_batches()
+    window: List[Future] = []
     try:
-        batches = surviving_batches()
-        window: List[Future] = []
         exhausted = False
         while True:
-            while not exhausted and len(window) < workers * 2:
+            while not exhausted and len(window) < shared.workers * 2:
                 batch = next(batches, None)
                 if batch is None:
                     exhausted = True
                     break
-                window.append(executor.submit(_worker_evaluate, batch))
+                window.append(shared.submit(batch))
             if not window:
                 return (None, improving)
             head = window.pop(0)
@@ -499,10 +543,13 @@ def _scan_level_sparse(
                 if first_mode:
                     return (candidate, improving)
     finally:
-        # Cancel queued batches but do wait for in-flight ones (at most
-        # one per worker): an un-joined pool trips over its own atexit
-        # hook at interpreter shutdown.
-        executor.shutdown(wait=True, cancel_futures=True)
+        # On early return (first hit) cancel what never started and wait
+        # out what did: the next set_level must not race a worker that
+        # still reads this level's labels.
+        for future in window:
+            future.cancel()
+        if window:
+            _wait_futures(window)
 
 
 def _scan_level_dense(
@@ -582,7 +629,7 @@ def _descend(
     strategy: DescentStrategy,
     max_descent: Optional[int] = None,
     stopwatch=None,
-    workers: int = 0,
+    pool: Optional[SharedWorkerPool] = None,
 ) -> Partition:
     """Inner loop of Algorithm 2: walk down the lattice from the top.
 
@@ -612,8 +659,10 @@ def _descend(
     stages on materialised pair arrays and the dense fixpoint
     (:func:`_scan_level_dense`); larger levels run the identical
     candidate order through lazy enumeration, the sparse fixpoint and
-    batched (optionally multi-process) closures
-    (:func:`_scan_level_sparse`).
+    batched closures (:func:`_scan_level_sparse`) — fanned out over
+    ``pool`` when one is given, with the product buffers shared once per
+    descent (:class:`_DescentShared`) and unlinked in the ``finally``
+    below however the descent ends.
 
     The default ``"first"`` strategy stops at the first qualifying
     candidate — the paper's nondeterministic ``∃F ∈ C`` choice resolved
@@ -632,34 +681,54 @@ def _descend(
     steps = 0
     measure = stopwatch.measure if stopwatch is not None else (lambda _name: nullcontext())
     first_mode = strategy is _first_candidate
-    while current.num_blocks > 1:
-        if max_descent is not None and steps >= max_descent:
-            break
-        quotient = quotient_table(top, current)
-        base_labels = current.labels
-        num_blocks = current.num_blocks
-        # Weakest edges in the quotient's block space.  The current
-        # partition always separates them (level 0 is the identity and
-        # every chosen candidate separates them by construction).
-        weak_a = base_labels[weak_rows]
-        weak_b = base_labels[weak_cols]
-        if num_blocks > DESCENT_SPARSE_CUTOFF:
-            chosen, improving = _scan_level_sparse(
-                quotient, base_labels, weak_a, weak_b, num_blocks,
-                first_mode, workers, measure,
+    shared_holder: List[Optional[_DescentShared]] = [None]
+
+    def get_shared() -> Optional[_DescentShared]:
+        """This descent's shared buffers, published on first real use.
+
+        Levels whose post-prune tail is too small to pool never call
+        this, so such descents publish nothing at all.
+        """
+        if pool is None or not pool.usable:
+            return None
+        if shared_holder[0] is None:
+            shared_holder[0] = _DescentShared(
+                pool, top, weak_rows, weak_cols, first_mode
             )
-        else:
-            chosen, improving = _scan_level_dense(
-                quotient, base_labels, weak_a, weak_b, num_blocks,
-                first_mode, measure,
-            )
-        if chosen is None and improving:
-            chosen = strategy(graph, improving)
-        if chosen is None:
-            break
-        current = chosen
-        steps += 1
-    return current
+        return shared_holder[0]
+
+    try:
+        while current.num_blocks > 1:
+            if max_descent is not None and steps >= max_descent:
+                break
+            quotient = quotient_table(top, current)
+            base_labels = current.labels
+            num_blocks = current.num_blocks
+            # Weakest edges in the quotient's block space.  The current
+            # partition always separates them (level 0 is the identity and
+            # every chosen candidate separates them by construction).
+            weak_a = base_labels[weak_rows]
+            weak_b = base_labels[weak_cols]
+            if num_blocks > DESCENT_SPARSE_CUTOFF:
+                chosen, improving = _scan_level_sparse(
+                    quotient, base_labels, weak_a, weak_b, num_blocks,
+                    first_mode, get_shared, measure,
+                )
+            else:
+                chosen, improving = _scan_level_dense(
+                    quotient, base_labels, weak_a, weak_b, num_blocks,
+                    first_mode, measure,
+                )
+            if chosen is None and improving:
+                chosen = strategy(graph, improving)
+            if chosen is None:
+                break
+            current = chosen
+            steps += 1
+        return current
+    finally:
+        if shared_holder[0] is not None:
+            shared_holder[0].retire()
 
 
 def generate_fusion(
@@ -703,14 +772,22 @@ def generate_fusion(
         Pre-computed cross product of ``machines`` to reuse.
     stopwatch:
         Optional :class:`repro.utils.timing.Stopwatch`; when given, the
-        stages ``product_build``, ``graph_build``, ``descent``, ``prune``
-        and ``closure`` are accumulated into it (the per-stage breakdown
-        ``benchmarks/bench_perf_regression.py`` reports).
+        stages ``product_build``, ``graph_assemble``, ``ledger_build``,
+        ``descent``, ``prune`` and ``closure`` are accumulated into it
+        (the per-stage breakdown ``benchmarks/bench_perf_regression.py``
+        reports).  ``graph_assemble`` covers fault-graph construction
+        and folding in existing backups; ``ledger_build`` is the initial
+        ``dmin`` — the sparse pair-ledger join, or the condensed-vector
+        min scan on dense graphs.
     workers:
-        Worker processes for the sparse descent's batched closures; see
+        Worker processes for the sparse engine; see
         :func:`resolve_workers` for the ``None`` default (environment /
-        CPU count, serial under pytest).  The result is byte-identical
-        for every worker count.
+        CPU count, serial under pytest).  With more than one worker, a
+        single :class:`repro.core.shm.SharedWorkerPool` serves both the
+        ledger build's group joins and the descent's batched closures,
+        with the product's buffers published once over shared memory and
+        unlinked in a ``finally`` whatever happens.  The result is
+        byte-identical for every worker count.
 
     Returns
     -------
@@ -741,58 +818,77 @@ def generate_fusion(
     target_dmin = required_dmin(f, byzantine=byzantine)
     crash_equivalent_f = target_dmin - 1
     worker_count = resolve_workers(workers)
-
-    measure = stopwatch.measure if stopwatch is not None else nullcontext
-    if product is None:
-        with measure("product_build"):
-            product = CrossProduct(machines)
-    top = product.machine
-
-    with measure("graph_build"):
-        # The cap tells a sparse graph which weights Algorithm 2 will ask
-        # about exactly: everything up to the target dmin.
-        graph = FaultGraph.from_cross_product(product, weight_cap=target_dmin + 1)
-        for backup in existing_backups:
-            graph = graph.with_partition(
-                partition_from_machine(top, backup), name=backup.name
-            )
-        # dmin is lazy; computing it here charges the (sparse) ledger
-        # build to this stage instead of leaking it into unmeasured time.
-        initial_dmin = graph.dmin()
-
-    needed = max(0, target_dmin - initial_dmin)
-    if max_backups is not None and needed > max_backups:
-        raise FusionExistenceError(
-            "no (%d, %d)-fusion exists: dmin(A)=%d so at least %d backups are required "
-            "(Theorem 4: m + dmin(A) > f)"
-            % (crash_equivalent_f, max_backups, initial_dmin, needed)
-        )
-
-    new_partitions: List[Partition] = []
-    new_machines: List[DFSM] = []
-    while graph.dmin() <= crash_equivalent_f:
-        with measure("descent"):
-            chosen = _descend(
-                top, graph, strategy_fn, stopwatch=stopwatch, workers=worker_count
-            )
-        index = len(existing_backups) + len(new_machines) + 1
-        name = "%s%d" % (name_prefix, index)
-        machine = machine_from_partition(top, chosen, name=name)
-        graph = graph.with_partition(chosen, name=name)
-        new_partitions.append(chosen)
-        new_machines.append(machine)
-
-    return FusionResult(
-        originals=tuple(machines),
-        backups=tuple(existing_backups) + tuple(new_machines),
-        partitions=tuple(partition_from_machine(top, b) for b in existing_backups)
-        + tuple(new_partitions),
-        product=product,
-        graph=graph,
-        f=crash_equivalent_f,
-        initial_dmin=initial_dmin,
-        final_dmin=graph.dmin(),
+    # One pool for the whole generation: the ledger build's group joins
+    # and every descent level's closure batches share its workers and
+    # its shared-memory bundles.  The finally below is the single point
+    # where the executor is joined and every segment is unlinked, so an
+    # error (or Ctrl-C between tasks) cannot leak /dev/shm segments.
+    pool: Optional[SharedWorkerPool] = (
+        SharedWorkerPool(worker_count) if worker_count > 1 else None
     )
+
+    try:
+        measure = stopwatch.measure if stopwatch is not None else nullcontext
+        if product is None:
+            with measure("product_build"):
+                product = CrossProduct(machines)
+        top = product.machine
+
+        with measure("graph_assemble"):
+            # The cap tells a sparse graph which weights Algorithm 2 will
+            # ask about exactly: everything up to the target dmin.
+            graph = FaultGraph.from_cross_product(
+                product, weight_cap=target_dmin + 1, pool=pool
+            )
+            for backup in existing_backups:
+                graph = graph.with_partition(
+                    partition_from_machine(top, backup), name=backup.name
+                )
+
+        with measure("ledger_build"):
+            # dmin is lazy; computing it here charges the sparse pair
+            # ledger's pigeonhole joins (or the dense condensed-vector
+            # min) to this stage instead of leaking it into unmeasured
+            # time.  Later escalations and per-backup updates reuse this
+            # build through the graph's LedgerBuilder.
+            initial_dmin = graph.dmin()
+
+        needed = max(0, target_dmin - initial_dmin)
+        if max_backups is not None and needed > max_backups:
+            raise FusionExistenceError(
+                "no (%d, %d)-fusion exists: dmin(A)=%d so at least %d backups are required "
+                "(Theorem 4: m + dmin(A) > f)"
+                % (crash_equivalent_f, max_backups, initial_dmin, needed)
+            )
+
+        new_partitions: List[Partition] = []
+        new_machines: List[DFSM] = []
+        while graph.dmin() <= crash_equivalent_f:
+            with measure("descent"):
+                chosen = _descend(
+                    top, graph, strategy_fn, stopwatch=stopwatch, pool=pool
+                )
+            index = len(existing_backups) + len(new_machines) + 1
+            name = "%s%d" % (name_prefix, index)
+            machine = machine_from_partition(top, chosen, name=name)
+            graph = graph.with_partition(chosen, name=name)
+            new_partitions.append(chosen)
+            new_machines.append(machine)
+
+        return FusionResult(
+            originals=tuple(machines),
+            backups=tuple(existing_backups) + tuple(new_machines),
+            partitions=tuple(partition_from_machine(top, b) for b in existing_backups)
+            + tuple(new_partitions),
+            product=product,
+            graph=graph,
+            f=crash_equivalent_f,
+            initial_dmin=initial_dmin,
+            final_dmin=graph.dmin(),
+        )
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 def generate_byzantine_fusion(

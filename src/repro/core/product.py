@@ -22,7 +22,7 @@ import numpy as np
 
 from .dfsm import DFSM
 from .exceptions import InvalidMachineError, UnknownStateError
-from .types import EventLabel, StateLabel, StateTuple
+from .types import EventLabel, StateLabel, StateTuple, narrow_index_dtype
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .partition import Partition
@@ -71,6 +71,7 @@ class CrossProduct:
         "_tuples",
         "_tuple_index",
         "_component_partitions",
+        "_label_matrix",
     )
 
     def __init__(self, machines: Sequence[DFSM], name: str = "top") -> None:
@@ -119,6 +120,7 @@ class CrossProduct:
         projections.setflags(write=False)
         self._projections = projections
         self._component_partitions: Optional[Tuple["Partition", ...]] = None
+        self._label_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Reachability exploration
@@ -319,6 +321,26 @@ class CrossProduct:
                 Partition(self._projections[ci]) for ci in range(len(self._components))
             )
         return self._component_partitions
+
+    def component_label_matrix(self) -> np.ndarray:
+        """The ``(num_components, |top|)`` canonical partition-label matrix.
+
+        Row ``i`` is :meth:`component_partitions`\\ ``[i].labels`` in the
+        narrow index dtype the sparse engine's leaf passes use (``int32``
+        whenever ``|top|`` fits) — exactly the matrix the ledger build
+        publishes over shared memory.  Cached and read-only, so repeated
+        fusion calls over one product (and every cap escalation within a
+        call) share a single conversion.
+        """
+        if self._label_matrix is None:
+            partitions = self.component_partitions()
+            dtype = narrow_index_dtype(self.num_states)
+            matrix = np.stack(
+                [partition.labels.astype(dtype) for partition in partitions]
+            )
+            matrix.setflags(write=False)
+            self._label_matrix = matrix
+        return self._label_matrix
 
     def project_state(self, top_state: StateTuple, component: int) -> StateLabel:
         """Label of the component state that ``top_state`` projects to."""

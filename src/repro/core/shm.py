@@ -1,0 +1,313 @@
+"""Shared-memory buffers and the worker pool behind the parallel engine.
+
+The sparse engine fans two kinds of work out over processes: the ledger
+build's pigeonhole group joins (:mod:`repro.core.sparse`) and the lattice
+descent's batched SP-closures (:mod:`repro.core.fusion`).  Both consume
+large read-mostly NumPy arrays — the reachable product's transition
+table, the per-machine partition label matrix, the weakest-edge index
+arrays — which this module publishes **once** through
+``multiprocessing.shared_memory`` instead of pickling them into every
+task:
+
+* :class:`SharedArrayBundle` — several named arrays packed into one
+  shared segment, with a picklable :attr:`~SharedArrayBundle.meta`
+  descriptor workers attach by name.  The owner side is a context
+  manager and carries a ``weakref.finalize`` backstop, so segments are
+  unlinked from ``/dev/shm`` even on error or interrupt.
+* :func:`attached_arrays` — the worker-side attach cache: one
+  ``shm_open``/``mmap`` per segment per worker process, evicting old
+  segments so long sessions cannot accumulate mappings.
+* :class:`SharedWorkerPool` — a lazily-spawned ``ProcessPoolExecutor``
+  plus the bundles its tasks read, closed together in one ``finally``.
+* :func:`resolve_workers` — the worker-count policy (moved here from
+  ``fusion`` so the ledger build can use it without an import cycle;
+  ``repro.core.fusion.resolve_workers`` remains as a re-export).
+
+Workers only ever *read* published arrays (scratch regions are written
+by the owner strictly between task waves), so no locking is needed; the
+parallel paths stay byte-identical to the serial ones by construction.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .exceptions import FusionError
+
+__all__ = [
+    "SharedArrayBundle",
+    "SharedWorkerPool",
+    "attached_arrays",
+    "resolve_workers",
+]
+
+#: Hard ceiling on worker processes however the count is configured.
+_MAX_WORKERS = 16
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the worker count for the parallel ledger build and descent.
+
+    ``workers`` wins when given; otherwise the ``REPRO_FUSION_WORKERS``
+    environment variable; otherwise the CPU count — except under pytest
+    (``PYTEST_CURRENT_TEST`` set), where the default is the serial path
+    so test runs stay single-process and deterministic to debug.  Values
+    of 0 or 1 mean serial; anything larger is capped at
+    :data:`_MAX_WORKERS`.  Parallel and serial evaluation are
+    byte-identical — workers only change wall-clock.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_FUSION_WORKERS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise FusionError(
+                    "REPRO_FUSION_WORKERS must be an integer, got %r" % env
+                ) from None
+        elif "PYTEST_CURRENT_TEST" in os.environ:
+            workers = 0
+        else:
+            workers = os.cpu_count() or 1
+    return max(0, min(int(workers), _MAX_WORKERS))
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedArrayBundle:
+    """Named NumPy arrays packed into one shared-memory segment.
+
+    The creating side owns the segment (``close()`` also unlinks it);
+    attached sides only unmap.  ``meta`` is a small picklable dict —
+    segment name plus per-array dtype/shape/offset — which is all a
+    worker needs to rebuild zero-copy views with :meth:`attach`.
+
+    >>> bundle = SharedArrayBundle.create({"xs": np.arange(4)})
+    >>> remote = SharedArrayBundle.attach(bundle.meta)
+    >>> remote.arrays["xs"].tolist()
+    [0, 1, 2, 3]
+    >>> remote.close(); bundle.close()
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        layout: Dict[str, Tuple[str, Tuple[int, ...], int]],
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self.arrays: Dict[str, np.ndarray] = {}
+        for name, (dtype, shape, offset) in layout.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+            if not owner:
+                view.setflags(write=False)
+            self.arrays[name] = view
+        # Backstop: unlink even if close() is never reached (error paths,
+        # interpreter teardown).  ``weakref.finalize`` runs at atexit as
+        # well, so repeated pytest runs cannot accumulate /dev/shm
+        # segments.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segment, segment, owner
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Pack ``arrays`` (copied) into a fresh shared segment."""
+        layout: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
+        offset = 0
+        sources: Dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            sources[name] = array
+            offset = _align(offset)
+            layout[name] = (array.dtype.str, tuple(array.shape), offset)
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        bundle = cls(segment, layout, owner=True)
+        for name, array in sources.items():
+            bundle.arrays[name][...] = array
+        return bundle
+
+    @classmethod
+    def attach(cls, meta: Dict[str, object]) -> "SharedArrayBundle":
+        """Rebuild read-only views of a published bundle from its ``meta``.
+
+        Attaching re-registers the name with the resource tracker, which
+        is harmless here: pool workers are *forked*, so they talk to the
+        owner's tracker, whose registry is a set (the re-add is a
+        no-op) that the owner's ``unlink()`` clears exactly once.
+        """
+        segment = shared_memory.SharedMemory(name=meta["segment"])
+        return cls(segment, dict(meta["layout"]), owner=False)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    @property
+    def meta(self) -> Dict[str, object]:
+        """Picklable descriptor: pass this to workers instead of arrays."""
+        return {"segment": self._segment.name, "layout": dict(self._layout)}
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        self._finalizer.detach()
+        _cleanup_segment(self._segment, self._owner)
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _cleanup_segment(segment: shared_memory.SharedMemory, owner: bool) -> None:
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+    if owner:
+        try:
+            segment.unlink()
+        except Exception:  # already unlinked elsewhere
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side attach cache
+# ----------------------------------------------------------------------
+#: Per-process cache of attached bundles, keyed by segment name.  Small:
+#: a worker touches the ledger label matrix plus the current descent's
+#: bundle; older descents' segments are evicted (and unmapped) FIFO.
+_ATTACH_CACHE: Dict[str, SharedArrayBundle] = {}
+_ATTACH_CACHE_LIMIT = 4
+
+
+def attached_arrays(meta: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Worker-side view of a published bundle, attached once per process.
+
+    Shared mappings see the owner's writes directly, so scratch regions
+    the owner rewrites between task waves never need re-attachment.
+    """
+    name = meta["segment"]  # type: ignore[index]
+    bundle = _ATTACH_CACHE.get(name)
+    if bundle is None or bundle.closed:
+        while len(_ATTACH_CACHE) >= _ATTACH_CACHE_LIMIT:
+            _ATTACH_CACHE.pop(next(iter(_ATTACH_CACHE))).close()
+        bundle = SharedArrayBundle.attach(meta)
+        _ATTACH_CACHE[name] = bundle
+    return bundle.arrays
+
+
+@atexit.register
+def _drain_attach_cache() -> None:  # pragma: no cover - interpreter teardown
+    for bundle in list(_ATTACH_CACHE.values()):
+        bundle.close()
+    _ATTACH_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class SharedWorkerPool:
+    """A ``ProcessPoolExecutor`` plus the shared bundles its tasks read.
+
+    One pool serves a whole ``generate_fusion`` call: the ledger build
+    and every lattice level of every descent submit to the same workers,
+    so process spawn costs are paid once, and published arrays travel to
+    workers as segment names instead of pickles.  The executor is only
+    spawned on first :meth:`submit` (small runs never fork), and
+    :meth:`close` tears down the executor and every live bundle in one
+    place — call it from a ``finally`` block; a ``weakref.finalize`` on
+    each bundle backstops segment unlinking regardless.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 2:
+            raise FusionError(
+                "a SharedWorkerPool needs at least 2 workers (got %d); "
+                "use the serial path instead" % max_workers
+            )
+        self._max_workers = int(max_workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._bundles: List[SharedArrayBundle] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def usable(self) -> bool:
+        """False once closed — callers then fall back to the serial path."""
+        return not self._closed
+
+    def publish(self, arrays: Dict[str, np.ndarray]) -> SharedArrayBundle:
+        """Create a bundle whose lifetime is tied to this pool."""
+        if self._closed:
+            raise FusionError("cannot publish on a closed SharedWorkerPool")
+        bundle = SharedArrayBundle.create(arrays)
+        self._bundles.append(bundle)
+        return bundle
+
+    def retire(self, bundle: SharedArrayBundle) -> None:
+        """Unlink a bundle early (e.g. at the end of one descent).
+
+        The segment persists for workers that still map it; their attach
+        caches evict it on their own schedule.
+        """
+        if bundle in self._bundles:
+            self._bundles.remove(bundle)
+        bundle.close()
+
+    def submit(self, fn: Callable, *args) -> Future:
+        if self._closed:
+            raise FusionError("cannot submit to a closed SharedWorkerPool")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every live bundle."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            # Cancel queued tasks but join in-flight ones: an un-joined
+            # pool trips over its own atexit hook at interpreter
+            # shutdown, and joining guarantees no worker still reads a
+            # bundle we are about to unlink.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        for bundle in self._bundles:
+            bundle.close()
+        self._bundles = []
+
+    def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

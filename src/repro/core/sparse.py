@@ -19,7 +19,17 @@ index/value arrays (CSR/COO style) because the container ships no
   index arrays, ``O(nnz)``;
 * :func:`low_weight_pairs` — every pair separated by fewer than ``cap``
   machines, found *without* touching the ``O(B^2)`` pair space via a
-  pigeonhole join over machine groups;
+  *recursive* pigeonhole join over machine groups: each join whose
+  co-block pair count is still large is refined by a further pigeonhole
+  split of the not-yet-joined machines, so candidate enumeration tracks
+  the genuinely low-weight pair structure instead of the first join's
+  block sizes;
+* :class:`LedgerBuilder` — the shared source of base ledgers for a fixed
+  machine list: plans the join into independent leaf tasks, runs them
+  serially or fans them out over a :class:`repro.core.shm.SharedWorkerPool`
+  (label arrays published once via shared memory), and caches the result
+  per cap so cap-escalation retries and per-backup rebuilds never re-run
+  a join they already paid for;
 * :class:`PairLedger` — the sparse fault-graph storage built on top of
   :func:`low_weight_pairs`: exact weights for every pair below a cap,
   with vectorised incremental folds;
@@ -30,7 +40,10 @@ Everything here is exact (never approximate): the ledger records which
 weights it knows exactly (``weight < cap``) and callers escalate the cap
 when they need more, and the doomed-pair set is a *sound* filter by
 construction, so an early (budgeted) stop can only make pruning less
-complete, never wrong.
+complete, never wrong.  Serial and parallel builds are byte-identical:
+the leaf tasks are planned identically, executed in the same order, and
+merged through one ``np.unique`` whose output is order-insensitive (a
+pair's exact weight is the same from every leaf that finds it).
 """
 
 from __future__ import annotations
@@ -41,9 +54,12 @@ import numpy as np
 
 from .exceptions import PartitionError
 from .partition import Partition, _canonicalise
+from .shm import SharedWorkerPool, attached_arrays
+from .types import narrow_index_dtype
 
 __all__ = [
     "CandidateBudgetError",
+    "LedgerBuilder",
     "PairLedger",
     "coblock_pair_arrays",
     "condensed_indices",
@@ -179,6 +195,197 @@ def _coblock_pair_estimate(labels: np.ndarray) -> int:
     return int((counts * (counts - 1) // 2).sum())
 
 
+#: Above this many co-block candidate pairs a pigeonhole join is refined
+#: by a further split of the not-yet-joined machines instead of being
+#: enumerated directly.  Each refinement level multiplies the number of
+#: leaf tasks by at most ``cap`` while shrinking every leaf's candidate
+#: set, so the constant trades duplicate-candidate overlap (small leaves)
+#: against wasted weight passes over doomed candidates (big leaves);
+#: ``2^22`` pairs ≈ 50 MB of transient int32 leaf state.
+_LEAF_PAIR_TARGET = 1 << 22
+
+#: Leaf index/weight dtypes: pair indices fit ``int32`` whenever the
+#: state count does (always, in practice; the shared rule is
+#: :func:`repro.core.types.narrow_index_dtype`), and weights are bounded
+#: by the machine count.  Both halve the memory traffic of the candidate
+#: passes; the public API still returns ``int64`` arrays.
+_LEAF_WEIGHT_DTYPE = np.int16
+_index_dtype = narrow_index_dtype
+
+#: Minimum summed candidate estimate before a ledger build fans its
+#: leaves out to the worker pool.  Below this the serial joins run in
+#: milliseconds and the pool's fixed costs (executor spawn, label-matrix
+#: publish, task round-trips) dominate — the ledger-build analogue of
+#: the descent's ``_POOL_MIN_SURVIVORS`` gate.
+_POOL_MIN_CANDIDATES = 4_000_000
+
+
+def _plan_leaf_tasks(
+    label_list: Sequence[np.ndarray],
+    cap: int,
+    budget: int,
+    leaf_target: int = _LEAF_PAIR_TARGET,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int]]:
+    """Split the pigeonhole join into independent leaf tasks.
+
+    Each task is ``(context_ids, remaining_ids, joined, estimate)``:
+    candidates are the co-block pairs of ``joined`` — the join of the
+    *context* machines, computed here while sizing the node (the size,
+    ``estimate``, rides along for work gating) — and their exact
+    weights come from folding the *remaining* machines.  A pair
+    separated by fewer than ``cap`` machines agrees with every machine
+    of at least one of ``cap`` disjoint groups (pigeonhole); while a
+    group join's candidate estimate exceeds ``leaf_target`` and at least
+    ``cap`` machines remain unjoined, the same argument splits the
+    remainder again — the pair must also agree with one of ``cap``
+    subgroups of the remaining machines — so blocks shrink geometrically
+    until enumeration is cheap.  Tasks are returned in deterministic
+    (depth-first, round-robin) order and are independent: they can run
+    serially (reusing ``joined``) or on a process pool (shipping only
+    the index tuples; workers replay the same join sequence, which is
+    deterministic) with identical results.
+
+    Raises :class:`CandidateBudgetError` when a leaf that can no longer
+    be split (fewer than ``cap`` machines remain) still exceeds
+    ``budget``.
+    """
+    tasks: List[Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int]] = []
+
+    def expand(
+        context_ids: Tuple[int, ...],
+        joined: Optional[np.ndarray],
+        remaining_ids: Tuple[int, ...],
+    ) -> None:
+        estimate = _coblock_pair_estimate(joined) if joined is not None else None
+        if len(remaining_ids) >= cap and (estimate is None or estimate > leaf_target):
+            for group_index in range(cap):
+                members = remaining_ids[group_index::cap]  # round-robin split
+                others = tuple(
+                    mi for k, mi in enumerate(remaining_ids) if k % cap != group_index
+                )
+                sub_joined = joined
+                for machine_index in members:
+                    labels = label_list[machine_index]
+                    sub_joined = (
+                        labels if sub_joined is None else join_labels(sub_joined, labels)
+                    )
+                expand(context_ids + members, sub_joined, others)
+            return
+        # A leaf always has a context: the top-level call (joined=None)
+        # can split, because cap <= number of machines.
+        if estimate > budget:
+            raise CandidateBudgetError(
+                "sparse enumeration would materialise %d candidate pairs "
+                "(budget %d); the machine set is not sparse at cap=%d"
+                % (estimate, budget, cap)
+            )
+        tasks.append((context_ids, remaining_ids, joined, estimate))
+
+    expand((), None, tuple(range(len(label_list))))
+    return tasks
+
+
+def _leaf_pairs(
+    label_list: Sequence[np.ndarray],
+    num_states: int,
+    cap: int,
+    context_ids: Sequence[int],
+    remaining_ids: Sequence[int],
+    joined: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run one planned leaf: enumerate, weigh, filter.
+
+    Candidates agree with every context machine by construction, so only
+    the remaining machines can add weight.  Their separations accumulate
+    one vectorised pass at a time, compressing away candidates as soon
+    as they reach the cap (weights only ever grow): on sparse workloads
+    the candidate set collapses after the first few machines, so later
+    passes touch a fraction of it.  Returns ``(keys, weights)`` of the
+    surviving pairs (keys are ``row * num_states + col``).
+
+    ``joined`` short-circuits the context join when the caller (the
+    planner, on the serial path) already holds it; pool workers pass
+    ``None`` and replay the same deterministic join sequence instead of
+    pickling the array.
+    """
+    if joined is None:
+        for machine_index in context_ids:
+            labels = label_list[machine_index]
+            joined = labels if joined is None else join_labels(joined, labels)
+    rows, cols = coblock_pair_arrays(joined, sort=False)
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=_LEAF_WEIGHT_DTYPE))
+    if rows.size == 0:
+        return empty
+    index_dtype = _index_dtype(num_states)
+    rows = rows.astype(index_dtype, copy=False)
+    cols = cols.astype(index_dtype, copy=False)
+    weights = np.zeros(rows.size, dtype=_LEAF_WEIGHT_DTYPE)
+    seen_machines = 0
+    for machine_index in remaining_ids:
+        labels = label_list[machine_index]
+        weights += labels[rows] != labels[cols]
+        seen_machines += 1
+        if seen_machines >= cap and rows.size:
+            keep = weights < cap
+            if keep.mean() < 0.75:
+                rows = rows[keep]
+                cols = cols[keep]
+                weights = weights[keep]
+    keep = weights < cap
+    keys = rows[keep].astype(np.int64) * num_states + cols[keep].astype(np.int64)
+    return keys, weights[keep]
+
+
+def _merge_leaf_results(
+    parts: Sequence[Tuple[np.ndarray, np.ndarray]], num_states: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dedup leaf outputs into sorted condensed-order COO arrays.
+
+    Overlapping leaves rediscover the same pair with the same exact
+    weight, so ``np.unique``'s first-occurrence pick is deterministic
+    regardless of which leaf ran where.
+    """
+    if not parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty.copy(), empty.copy(), empty.copy()
+    keys = np.concatenate([keys for keys, _ in parts])
+    weights = np.concatenate([weights for _, weights in parts])
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty.copy(), empty.copy(), empty.copy()
+    unique_keys, first = np.unique(keys, return_index=True)  # sorted = condensed order
+    return (
+        unique_keys // num_states,
+        unique_keys % num_states,
+        weights[first].astype(np.int64),
+    )
+
+
+def _label_matrix_rows(label_list: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Per-machine label arrays in the narrow leaf dtype, contiguous."""
+    if not label_list:
+        return []
+    dtype = _index_dtype(label_list[0].size)
+    return [np.ascontiguousarray(labels, dtype=dtype) for labels in label_list]
+
+
+def _ledger_leaf_task(
+    meta: Dict[str, object],
+    num_states: int,
+    cap: int,
+    context_ids: Tuple[int, ...],
+    remaining_ids: Tuple[int, ...],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pool task: run one leaf against the shared label matrix.
+
+    The task ships only machine *indices*; the label arrays themselves
+    live in the bundle published once per :class:`LedgerBuilder`.
+    """
+    matrix = attached_arrays(meta)["labels"]
+    label_list = [matrix[i] for i in range(matrix.shape[0])]
+    return _leaf_pairs(label_list, num_states, cap, context_ids, remaining_ids)
+
+
 def low_weight_pairs(
     partitions: Sequence[Partition],
     num_states: int,
@@ -191,17 +398,22 @@ def low_weight_pairs(
     A pair separated by fewer than ``cap`` machines must, by pigeonhole,
     agree with *every* machine of at least one of ``cap`` disjoint
     machine groups — i.e. lie inside one block of that group's joined
-    partition.  Candidates are therefore enumerated per group from the
-    join's co-block pairs (``O(nnz)``), given exact weights with one
-    vectorised pass per machine, and filtered; the full ``O(B^2)`` pair
+    partition.  Candidates are enumerated from those joins' co-block
+    pairs (``O(nnz)``), with joins whose candidate count is still large
+    refined recursively by re-splitting the unjoined machines
+    (:func:`_plan_leaf_tasks`), then given exact weights with one
+    vectorised pass per machine and filtered; the full ``O(B^2)`` pair
     space is never touched.
 
     Requires ``1 <= cap <= len(partitions)`` (with ``cap > m`` every pair
     would qualify, which is inherently dense).  Raises
-    :class:`CandidateBudgetError` when a group's candidate count exceeds
-    ``budget``.
+    :class:`CandidateBudgetError` when an unsplittable leaf's candidate
+    count exceeds ``budget``.
 
-    Returns ``(rows, cols, weights)`` sorted in condensed order.
+    Returns ``(rows, cols, weights)`` sorted in condensed order.  This
+    is the serial entry point; :class:`LedgerBuilder` runs the same
+    plan/leaf/merge pipeline with the leaves fanned out over a worker
+    pool, byte-identically.
     """
     num_machines = len(partitions)
     if not 1 <= cap <= num_machines:
@@ -209,52 +421,124 @@ def low_weight_pairs(
             "low_weight_pairs needs 1 <= cap <= num_machines, got cap=%d, m=%d"
             % (cap, num_machines)
         )
-    all_keys: List[np.ndarray] = []
-    all_weights: List[np.ndarray] = []
-    for group_index in range(cap):
-        members = partitions[group_index::cap]  # round-robin split
-        others = [p for i, p in enumerate(partitions) if i % cap != group_index]
-        joined = members[0].labels
-        for partition in members[1:]:
-            joined = join_labels(joined, partition.labels)
-        estimate = _coblock_pair_estimate(joined)
-        if estimate > budget:
-            raise CandidateBudgetError(
-                "sparse enumeration would materialise %d candidate pairs "
-                "(budget %d); the machine set is not sparse at cap=%d"
-                % (estimate, budget, cap)
+    label_list = _label_matrix_rows([p.labels for p in partitions])
+    tasks = _plan_leaf_tasks(label_list, cap, budget)
+    parts = [
+        _leaf_pairs(label_list, num_states, cap, context_ids, remaining_ids, joined)
+        for context_ids, remaining_ids, joined, _estimate in tasks
+    ]
+    return _merge_leaf_results(parts, num_states)
+
+
+class LedgerBuilder:
+    """Shared, cached source of base ledgers for a fixed machine list.
+
+    The fault graph of a fusion run keeps one builder for the *original*
+    machines (the expensive join substrate) and treats backups as cheap
+    fold deltas on top (:meth:`ledger`): a cap escalation re-joins only
+    the base machines — served from :attr:`_cache` when that cap was
+    already built — instead of re-running the full join over originals
+    plus backups, and a chosen backup never triggers a join at all.
+
+    With a :class:`repro.core.shm.SharedWorkerPool`, the per-machine
+    label arrays are published once as one shared-memory matrix and the
+    planned leaf tasks (including cap-escalation retries) fan out over
+    the pool as machine-index tuples; without one (or after the pool is
+    closed) the identical plan runs serially in-process.  Both paths are
+    byte-identical.
+    """
+
+    __slots__ = (
+        "_partitions",
+        "_num_states",
+        "_budget",
+        "_pool",
+        "_cache",
+        "_bundle",
+        "_label_rows",
+    )
+
+    def __init__(
+        self,
+        partitions: Sequence[Partition],
+        num_states: int,
+        budget: int = DEFAULT_CANDIDATE_BUDGET,
+        pool: Optional[SharedWorkerPool] = None,
+        label_rows: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        self._partitions: Tuple[Partition, ...] = tuple(partitions)
+        self._num_states = int(num_states)
+        self._budget = int(budget)
+        self._pool = pool
+        self._cache: Dict[int, "PairLedger"] = {}
+        self._bundle = None
+        # Pre-converted per-machine label arrays (e.g. the cached
+        # CrossProduct.component_label_matrix rows), parallel to
+        # ``partitions``; converted lazily from the partitions otherwise.
+        self._label_rows: Optional[List[np.ndarray]] = (
+            list(label_rows) if label_rows is not None else None
+        )
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._partitions)
+
+    def base(self, cap: int) -> "PairLedger":
+        """The ledger of the base machines at ``cap`` (clamped, cached)."""
+        cap = min(int(cap), len(self._partitions))
+        cached = self._cache.get(cap)
+        if cached is None:
+            cached = self._build(cap)
+            self._cache[cap] = cached
+        return cached
+
+    def ledger(self, cap: int, extras: Sequence[Partition] = ()) -> "PairLedger":
+        """Base ledger plus one vectorised fold per extra (backup) machine."""
+        built = self.base(cap)
+        for partition in extras:
+            built = built.fold(partition.labels)
+        return built
+
+    def _rows(self) -> List[np.ndarray]:
+        if self._label_rows is None:
+            self._label_rows = _label_matrix_rows(
+                [p.labels for p in self._partitions]
             )
-        rows, cols = coblock_pair_arrays(joined, sort=False)
-        if rows.size == 0:
-            continue
-        # Candidates agree with every group member by construction, so
-        # only the other machines can add weight.  Accumulate their
-        # separations one at a time, compressing away candidates as soon
-        # as they reach the cap (weights only ever grow): on sparse
-        # workloads the candidate set collapses after the first few
-        # machines, so the remaining passes touch a fraction of it.
-        weights = np.zeros(rows.size, dtype=np.int64)
-        seen_machines = 0
-        for partition in others:
-            labels = partition.labels
-            weights += labels[rows] != labels[cols]
-            seen_machines += 1
-            if seen_machines >= cap and rows.size:
-                keep = weights < cap
-                if keep.mean() < 0.75:
-                    rows = rows[keep]
-                    cols = cols[keep]
-                    weights = weights[keep]
-        keep = weights < cap
-        all_keys.append(rows[keep] * num_states + cols[keep])
-        all_weights.append(weights[keep])
-    if not all_keys:
-        empty = np.empty(0, dtype=np.int64)
-        return empty.copy(), empty.copy(), empty.copy()
-    keys = np.concatenate(all_keys)
-    weights = np.concatenate(all_weights)
-    unique_keys, first = np.unique(keys, return_index=True)  # sorted = condensed order
-    return unique_keys // num_states, unique_keys % num_states, weights[first]
+        return self._label_rows
+
+    def _build(self, cap: int) -> "PairLedger":
+        label_list = self._rows()
+        tasks = _plan_leaf_tasks(label_list, cap, self._budget)
+        pool = self._pool
+        # The pool only pays off above a minimum of fan-out-able work:
+        # the planner's candidate estimates bound the leaf passes, so a
+        # small total runs serially rather than paying executor spawn,
+        # the shared-memory publish and task round-trips.
+        total_candidates = sum(estimate for _, _, _, estimate in tasks)
+        if (
+            pool is not None
+            and pool.usable
+            and pool.workers > 1
+            and len(tasks) > 1
+            and total_candidates >= _POOL_MIN_CANDIDATES
+        ):
+            if self._bundle is None or self._bundle.closed:
+                self._bundle = pool.publish({"labels": np.stack(label_list)})
+            meta = self._bundle.meta
+            futures = [
+                pool.submit(
+                    _ledger_leaf_task, meta, self._num_states, cap, context, remaining
+                )
+                for context, remaining, _joined, _estimate in tasks
+            ]
+            parts = [future.result() for future in futures]
+        else:
+            parts = [
+                _leaf_pairs(label_list, self._num_states, cap, context, remaining, joined)
+                for context, remaining, joined, _estimate in tasks
+            ]
+        rows, cols, weights = _merge_leaf_results(parts, self._num_states)
+        return PairLedger(self._num_states, cap, rows, cols, weights)
 
 
 class PairLedger:

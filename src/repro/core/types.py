@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Sequence, Tuple, Union
 
+import numpy as np
+
 __all__ = [
     "StateLabel",
     "EventLabel",
@@ -19,7 +21,21 @@ __all__ = [
     "TransitionMap",
     "StateTuple",
     "BlockLabelVector",
+    "narrow_index_dtype",
 ]
+
+
+def narrow_index_dtype(num_values: int) -> type:
+    """The narrowest NumPy integer dtype indexing ``num_values`` items.
+
+    One shared policy for every structure that stores state indices or
+    partition labels compactly (the sparse engine's leaf passes, the
+    cross product's cached label matrix): ``int32`` whenever the value
+    range fits, ``int64`` otherwise.  Keeping the rule here — the bottom
+    of the layer map — lets producers and consumers agree without
+    importing across layers.
+    """
+    return np.int32 if num_values <= np.iinfo(np.int32).max else np.int64
 
 #: A user-facing state label.  Any hashable value is accepted.
 StateLabel = Hashable

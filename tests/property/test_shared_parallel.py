@@ -1,0 +1,178 @@
+"""Property tests for the shared-memory parallel ledger build and the
+incremental per-backup ledger maintenance.
+
+Two invariants from the engine contract:
+
+* fanning the pigeonhole leaf tasks out over a
+  :class:`repro.core.shm.SharedWorkerPool` returns *byte-identical*
+  arrays to the serial path, for every worker count (the pool only
+  changes wall-clock, never results);
+* maintaining the ledger incrementally — the cached base join plus one
+  fold per backup, which is what ``FaultGraph`` does on cap escalation —
+  equals a from-scratch join over all machines, on random machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.fault_graph as fault_graph_module
+from repro.core.fault_graph import FaultGraph
+from repro.core.product import CrossProduct
+from repro.core.shm import SharedWorkerPool
+from repro.core.sparse import LedgerBuilder, PairLedger, low_weight_pairs
+from repro.machines import mesi, mod_counter, shift_register
+
+from .strategies import partition_strategy
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+def _protocol_mix():
+    return [
+        mesi(),
+        mod_counter(3, "local_read", events=mesi().events, name="rd-ctr"),
+        shift_register(
+            3, bit_events=("local_read", "local_write"), events=mesi().events, name="sr"
+        ),
+    ]
+
+
+MACHINE_SETS = {
+    "counters-6": lambda: _counters(6),
+    "mesi-mix": _protocol_mix,
+}
+
+
+class TestParallelLedgerBuild:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("case", sorted(MACHINE_SETS))
+    def test_parallel_build_byte_identical_to_serial(self, case, workers, monkeypatch):
+        """max_workers ∈ {1, 2, 4} all produce the serial path's arrays."""
+        import repro.core.sparse as sparse_module
+
+        # These deliberately small machines are below the minimum-work
+        # gate; disable it so workers>1 really exercises the pooled path.
+        monkeypatch.setattr(sparse_module, "_POOL_MIN_CANDIDATES", 0)
+        product = CrossProduct(MACHINE_SETS[case]())
+        partitions = product.component_partitions()
+        caps = [1, 2, min(3, len(partitions))]
+        pool = SharedWorkerPool(workers) if workers > 1 else None
+        try:
+            builder = LedgerBuilder(partitions, product.num_states, pool=pool)
+            for cap in sorted(set(caps)):
+                rows, cols, weights = low_weight_pairs(
+                    partitions, product.num_states, cap
+                )
+                built = builder.base(cap)
+                assert built.cap == cap
+                assert built.rows.dtype == rows.dtype
+                assert np.array_equal(built.rows, rows)
+                assert np.array_equal(built.cols, cols)
+                assert np.array_equal(built.weights, weights)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def test_builder_caches_and_survives_pool_close(self, monkeypatch):
+        import repro.core.sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "_POOL_MIN_CANDIDATES", 0)
+        product = CrossProduct(_counters(5))
+        partitions = product.component_partitions()
+        pool = SharedWorkerPool(2)
+        builder = LedgerBuilder(partitions, product.num_states, pool=pool)
+        first = builder.base(2)
+        assert builder.base(2) is first  # cached, not re-joined
+        pool.close()
+        # After the pool closes, un-cached caps fall back to the serial
+        # path and still match the reference.
+        escalated = builder.base(3)
+        rows, cols, weights = low_weight_pairs(partitions, product.num_states, 3)
+        assert np.array_equal(escalated.rows, rows)
+        assert np.array_equal(escalated.weights, weights)
+
+
+class TestIncrementalLedgerMaintenance:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(partition_strategy(n), min_size=1, max_size=4),
+                st.lists(partition_strategy(n), min_size=0, max_size=3),
+                st.integers(min_value=1, max_value=4),
+            )
+        )
+    )
+    def test_base_plus_folds_equals_from_scratch(self, payload):
+        """LedgerBuilder.ledger(cap, extras) == one join over everything."""
+        n, base, extras, cap = payload
+        cap = min(cap, len(base))
+        builder = LedgerBuilder(base, n)
+        incremental = builder.ledger(cap, extras)
+        rebuilt = PairLedger.from_partitions(list(base) + list(extras), n, cap)
+        assert incremental.cap == rebuilt.cap
+        assert np.array_equal(incremental.rows, rebuilt.rows)
+        assert np.array_equal(incremental.cols, rebuilt.cols)
+        assert np.array_equal(incremental.weights, rebuilt.weights)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=7).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(partition_strategy(n), min_size=1, max_size=3),
+                st.lists(partition_strategy(n), min_size=1, max_size=3),
+            )
+        )
+    )
+    def test_graph_escalation_matches_fresh_graph(self, payload):
+        """A with_partition chain that escalates its cap equals a fresh
+        build over all partitions — the per-backup update never re-joins."""
+        n, base, extras = payload
+        graph = FaultGraph(n, base, mode="sparse", weight_cap=1)
+        graph.dmin()  # materialise the cap-1 ledger before the folds
+        for extra in extras:
+            graph = graph.with_partition(extra)
+        fresh = FaultGraph(n, list(base) + list(extras), mode="sparse")
+        dense = FaultGraph(n, list(base) + list(extras), mode="dense")
+        assert graph.dmin() == fresh.dmin() == dense.dmin()
+        assert graph.weakest_edges() == dense.weakest_edges()
+        for threshold in range(0, graph.num_machines + 2):
+            assert graph.edges_below(threshold) == dense.edges_below(threshold)
+
+    def test_escalation_reuses_cached_base_joins(self, monkeypatch):
+        """Cap escalation on a descendant graph consults the shared
+        builder's cache instead of re-running low_weight_pairs over the
+        grown machine list."""
+        import repro.core.sparse as sparse_module
+
+        product = CrossProduct(_counters(4))
+        partitions = product.component_partitions()
+        graph = FaultGraph(
+            product.num_states, partitions, mode="sparse", weight_cap=2
+        )
+        graph.dmin()
+        child = graph.with_partition(partitions[0])
+
+        calls = []
+        original = sparse_module._plan_leaf_tasks
+
+        def counting_plan(label_list, cap, budget, leaf_target=sparse_module._LEAF_PAIR_TARGET):
+            calls.append((len(label_list), cap))
+            return original(label_list, cap, budget, leaf_target)
+
+        monkeypatch.setattr(sparse_module, "_plan_leaf_tasks", counting_plan)
+        # Force an escalation past the folded ledger's cap: the only join
+        # planned must be over the 4 base machines, never the 5-machine list.
+        child.edges_below(4)
+        assert calls and all(machine_count == 4 for machine_count, _ in calls)

@@ -106,3 +106,17 @@ class TestGeneralProduct:
         # Identical machines stay in lock-step, so the reachable product
         # has only as many states as one copy.
         assert product.num_states == a1.num_states
+
+    def test_component_label_matrix_matches_partitions(self):
+        import numpy as np
+
+        product = CrossProduct([mesi(), tcp()])
+        matrix = product.component_label_matrix()
+        partitions = product.component_partitions()
+        assert matrix.shape == (2, product.num_states)
+        assert matrix.dtype == np.int32
+        for row, partition in zip(matrix, partitions):
+            assert np.array_equal(row, partition.labels)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1  # read-only
+        assert product.component_label_matrix() is matrix  # cached

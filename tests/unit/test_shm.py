@@ -1,0 +1,158 @@
+"""Unit tests for the shared-memory layer (``repro.core.shm``).
+
+The property suite establishes that parallel and serial engines compute
+identical results; these tests pin the *lifecycle* contracts instead —
+bundles round-trip arrays, attached views are read-only, segments are
+unlinked from ``/dev/shm`` on every exit path (normal close, context
+manager with an exception in flight, garbage collection), and the pool
+refuses use-after-close instead of leaking.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import FusionError
+from repro.core.shm import SharedArrayBundle, SharedWorkerPool, resolve_workers
+
+
+def _segment_exists(name: str) -> bool:
+    """True while a POSIX shared-memory segment with this name is linked."""
+    from multiprocessing import shared_memory
+
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+class TestSharedArrayBundle:
+    def test_round_trip_and_layout(self):
+        arrays = {
+            "table": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "labels": np.array([2, 0, 1], dtype=np.int32),
+        }
+        with SharedArrayBundle.create(arrays) as bundle:
+            attached = SharedArrayBundle.attach(bundle.meta)
+            try:
+                for name, array in arrays.items():
+                    assert np.array_equal(attached.arrays[name], array)
+                    assert attached.arrays[name].dtype == array.dtype
+            finally:
+                attached.close()
+
+    def test_attached_views_are_read_only(self):
+        with SharedArrayBundle.create({"xs": np.zeros(4)}) as bundle:
+            attached = SharedArrayBundle.attach(bundle.meta)
+            try:
+                with pytest.raises(ValueError):
+                    attached.arrays["xs"][0] = 1.0
+            finally:
+                attached.close()
+
+    def test_owner_writes_are_visible_through_attachments(self):
+        """Scratch regions rewritten by the owner need no re-attach."""
+        with SharedArrayBundle.create({"xs": np.zeros(4, dtype=np.int64)}) as bundle:
+            attached = SharedArrayBundle.attach(bundle.meta)
+            try:
+                bundle.arrays["xs"][...] = np.array([5, 6, 7, 8])
+                assert attached.arrays["xs"].tolist() == [5, 6, 7, 8]
+            finally:
+                attached.close()
+
+    def test_meta_is_picklable(self):
+        with SharedArrayBundle.create({"xs": np.arange(3)}) as bundle:
+            meta = pickle.loads(pickle.dumps(bundle.meta))
+            attached = SharedArrayBundle.attach(meta)
+            try:
+                assert attached.arrays["xs"].tolist() == [0, 1, 2]
+            finally:
+                attached.close()
+
+    def test_close_unlinks_segment(self):
+        bundle = SharedArrayBundle.create({"xs": np.arange(3)})
+        name = bundle.name
+        assert _segment_exists(name)
+        bundle.close()
+        assert not _segment_exists(name)
+        bundle.close()  # idempotent
+
+    def test_context_manager_unlinks_on_error(self):
+        """The satellite requirement: no /dev/shm leak on error paths."""
+        name = None
+        with pytest.raises(RuntimeError):
+            with SharedArrayBundle.create({"xs": np.arange(3)}) as bundle:
+                name = bundle.name
+                assert _segment_exists(name)
+                raise RuntimeError("interrupted mid-use")
+        assert name is not None and not _segment_exists(name)
+
+    def test_garbage_collection_backstop_unlinks(self):
+        bundle = SharedArrayBundle.create({"xs": np.arange(3)})
+        name = bundle.name
+        del bundle
+        gc.collect()
+        assert not _segment_exists(name)
+
+
+class TestSharedWorkerPool:
+    def test_rejects_serial_worker_counts(self):
+        for count in (0, 1, -2):
+            with pytest.raises(FusionError):
+                SharedWorkerPool(count)
+
+    def test_close_unlinks_published_bundles(self):
+        pool = SharedWorkerPool(2)
+        bundle = pool.publish({"xs": np.arange(5)})
+        name = bundle.name
+        assert _segment_exists(name)
+        pool.close()
+        assert not _segment_exists(name)
+        assert not pool.usable
+
+    def test_use_after_close_is_refused(self):
+        pool = SharedWorkerPool(2)
+        pool.close()
+        with pytest.raises(FusionError):
+            pool.publish({"xs": np.arange(2)})
+        with pytest.raises(FusionError):
+            pool.submit(len, ())
+        pool.close()  # idempotent
+
+    def test_retire_unlinks_early(self):
+        with SharedWorkerPool(2) as pool:
+            bundle = pool.publish({"xs": np.arange(2)})
+            name = bundle.name
+            pool.retire(bundle)
+            assert not _segment_exists(name)
+
+    def test_context_manager_closes_on_error(self):
+        name = None
+        with pytest.raises(RuntimeError):
+            with SharedWorkerPool(2) as pool:
+                name = pool.publish({"xs": np.arange(2)}).name
+                raise RuntimeError("interrupted mid-fusion")
+        assert name is not None and not _segment_exists(name)
+
+    def test_submit_round_trip(self):
+        """The lazily-spawned executor really runs tasks."""
+        with SharedWorkerPool(2) as pool:
+            assert pool.submit(sum, (1, 2, 3)).result() == 6
+
+
+class TestResolveWorkersReExport:
+    def test_fusion_re_export_is_the_same_function(self):
+        from repro.core import fusion
+
+        assert fusion.resolve_workers is resolve_workers
+
+    def test_package_export(self):
+        import repro
+
+        assert repro.resolve_workers is resolve_workers

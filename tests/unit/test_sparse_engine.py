@@ -31,11 +31,15 @@ from repro.machines import mod_counter
 @pytest.fixture
 def forced_sparse(monkeypatch):
     """Force the sparse graph, descent and pool paths regardless of size."""
+    import repro.core.sparse as sparse_module
+
     monkeypatch.setattr(fault_graph_module, "SPARSE_STATE_CUTOFF", 1)
     monkeypatch.setattr(fusion_module, "DESCENT_SPARSE_CUTOFF", 1)
-    # Disable the spawn-cost gate so workers>1 really exercises the pool
-    # even on these deliberately small machines.
+    # Disable the minimum-work gates so workers>1 really exercises the
+    # pooled descent and ledger build even on these deliberately small
+    # machines.
     monkeypatch.setattr(fusion_module, "_POOL_MIN_SURVIVORS", 0)
+    monkeypatch.setattr(sparse_module, "_POOL_MIN_CANDIDATES", 0)
 
 
 def counters(size: int):
