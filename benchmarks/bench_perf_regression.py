@@ -33,10 +33,21 @@ the reference container (the PR that introduced the case), and
 ``speedup_vs_first_recorded`` keeps their trajectory comparable across
 PRs.  ``counters-9`` was first recorded at 4.66 s (PR 2's
 single-process pigeonhole join); ``counters-10`` and the
-``mesi+counters-8`` mix enter with this PR's recursive-join numbers —
+``mesi+counters-8`` mix entered with PR 3's recursive-join numbers —
 ``counters-10`` previously exceeded the candidate budget outright (its
 3-machine group joins materialise 64.5 M candidates; the recursive
-refinement splits them below the leaf target).
+refinement splits them below the leaf target).  ``mesi+counters-9``
+(top=78732) enters with PR 4's parallel/incremental doomed-pair prune:
+under PR 3's engine the case spent ~27 s of ~42 s inside the pruning
+fixpoint on the reference container (up to ~40 s of ~68 s under load)
+and was left out of the suite to respect the 60 s guard.
+
+Besides the per-stage seconds, every case carries a ``prune_stats``
+block (schema ``repro-bench-perf/2``): fixpoint rounds (backward and
+forward), budget units spent, keys seeded from cross-level reuse, and —
+crucially — the ``truncated`` count, so silent under-pruning from the
+``budget``/``max_rounds`` early stop is visible in the trajectory
+instead of masquerading as a slow ``closure`` stage.
 """
 
 from __future__ import annotations
@@ -106,6 +117,7 @@ PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
     "counters-9 (top=19683)": None,
     "counters-10 (top=59049)": None,
     "mesi+counters-8 (top=26244)": None,
+    "mesi+counters-9 (top=78732)": None,
 }
 
 #: First wall-clock ever recorded per sparse-engine case on the
@@ -114,11 +126,16 @@ PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
 FIRST_RECORDED_SECONDS: Dict[str, float] = {
     # PR 2: single-process pigeonhole join, serial graph_build ~3.6 s.
     "counters-9 (top=19683)": 4.655026,
-    # This PR (recursive join + incremental ledger): previously the case
+    # PR 3 (recursive join + incremental ledger): previously the cases
     # exceeded the sparse candidate budget before producing any answer,
     # so these pin the introduction figures (speedup 1.0 by definition).
     "counters-10 (top=59049)": 10.4023,
     "mesi+counters-8 (top=26244)": 7.8105,
+    # PR 4 (parallel/incremental doomed-pair prune): under PR 3's serial
+    # fixpoint the case ran ~42 s on the reference container (27 s of it
+    # in prune) and was kept out of the suite; the incremental engine's
+    # introduction figure pins it here (speedup 1.0 by definition).
+    "mesi+counters-9 (top=78732)": 22.802,
 }
 
 #: Semantic outputs every engine change must preserve exactly.
@@ -164,6 +181,12 @@ EXPECTED_SUMMARIES: Dict[str, Dict[str, object]] = {
         "num_backups": 1, "backup_sizes": [12], "fusion_state_space": 12,
         "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
     },
+    "mesi+counters-9 (top=78732)": {
+        "originals": ["MESI"] + ["c%d" % e for e in range(9)], "f": 1,
+        "top_size": 78732,
+        "num_backups": 1, "backup_sizes": [12], "fusion_state_space": 12,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
 }
 
 
@@ -175,6 +198,14 @@ CASES: Dict[str, Callable[[], Sequence]] = dict(GENERATION_CASES)
 CASES["counters-9 (top=19683)"] = lambda: _counters_family(9)
 CASES["counters-10 (top=59049)"] = lambda: _counters_family(10)
 CASES["mesi+counters-8 (top=26244)"] = lambda: _mesi_counters_mix(8)
+CASES["mesi+counters-9 (top=78732)"] = lambda: _mesi_counters_mix(9)
+
+#: Fields every case's ``prune_stats`` block must carry (schema
+#: ``repro-bench-perf/2``; checked by ``--check`` and by
+#: ``tests/unit/test_bench_schema.py`` against the committed file).
+PRUNE_STATS_FIELDS = (
+    "calls", "rounds", "forward_rounds", "spent", "truncated", "seeded",
+)
 
 #: Generous absolute wall-clock guards (seconds) for CI runners of
 #: unknown speed.  The real trajectory lives in BENCH_perf.json.
@@ -189,9 +220,14 @@ WALL_CLOCK_GUARDS: Dict[str, float] = {
     # container (~2 s), and the dense engines cannot run the case at all.
     "counters-9 (top=19683)": 60.0,
     # Same strict bound for the recursive-join flagship (~10 s on the
-    # reference container) and the large protocol mix (~8 s).
+    # reference container) and the large protocol mixes (~8 s / ~24 s).
     "counters-10 (top=59049)": 60.0,
     "mesi+counters-8 (top=26244)": 60.0,
+    # Too close to the bound under PR 3 (~42 s on the reference
+    # container, ~27 s of it in the serial pruning fixpoint — up to ~68 s
+    # under load); the parallel/incremental prune halved the fixpoint
+    # and brought the case comfortably inside the guard.
+    "mesi+counters-9 (top=78732)": 60.0,
 }
 
 
@@ -214,12 +250,25 @@ def run_case(name: str, rounds: int = 1) -> Dict[str, object]:
             best = elapsed
             pre = PRE_PR_BASELINE_SECONDS.get(name)
             first = FIRST_RECORDED_SECONDS.get(name)
+            stages = watch.as_dict()
+            prune_stage = stages.get("prune", {})
             record = {
                 "seconds": round(elapsed, 6),
                 # "descent" contains "prune" and "closure"; the other
                 # stages (product_build, graph_assemble, ledger_build)
                 # partition the remaining wall-clock.
-                "stages": watch.as_dict(),
+                "stages": stages,
+                # Always present (zeros when the descent never pruned):
+                # the fixpoint's structural outcome, so truncation-driven
+                # under-pruning can never hide in the timing noise.
+                "prune_stats": {
+                    "calls": int(prune_stage.get("count", 0)),
+                    "rounds": int(prune_stage.get("rounds", 0)),
+                    "forward_rounds": int(prune_stage.get("forward_rounds", 0)),
+                    "spent": int(prune_stage.get("spent", 0)),
+                    "truncated": int(prune_stage.get("truncated", 0)),
+                    "seeded": int(prune_stage.get("seeded", 0)),
+                },
                 "summary": result.summary(),
                 "engine": "sparse" if result.graph.is_sparse else "dense",
                 # For sparse runs: stored low-weight pairs — the O(nnz)
@@ -246,10 +295,11 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
     _warm_up()
     cases = {name: run_case(name, rounds=rounds) for name in CASES}
     return {
-        "schema": "repro-bench-perf/1",
+        "schema": "repro-bench-perf/2",
         "note": (
             "Wall-clock seconds per Algorithm-2 workload with per-stage "
-            "breakdown. pre_pr_seconds pins the seed-commit engine on the "
+            "breakdown and doomed-pair prune_stats (rounds/spent/truncated/"
+            "seeded). pre_pr_seconds pins the seed-commit engine on the "
             "reference container; regenerate with "
             "PYTHONPATH=src python benchmarks/bench_perf_regression.py"
         ),
@@ -320,6 +370,31 @@ def test_counters9_sparse_engine_within_runtime_bound():
         result.graph.condensed_weights
 
 
+def test_mesi_counters9_parallel_prune_within_runtime_bound():
+    """The top=78732 protocol mix: the parallel/incremental prune flagship.
+
+    Infeasible to include under PR 3 — the serial doomed-pair fixpoint
+    alone ate half the 60 s guard — this case now runs well inside the
+    bound, stays sparse, seeds its lower levels from the upper ones, and
+    reports an untruncated prune.  Run it with ``REPRO_FUSION_WORKERS=2``
+    (the CI parallel smoke does) to exercise the sharded rounds; results
+    are byte-identical to the serial path either way.
+    """
+    name = "mesi+counters-9 (top=78732)"
+    machines = CASES[name]()
+    watch = Stopwatch()
+    start = time.perf_counter()
+    result = generate_fusion(machines, f=1, stopwatch=watch)
+    elapsed = time.perf_counter() - start
+    assert result.summary() == EXPECTED_SUMMARIES[name]
+    assert elapsed < 60.0
+    assert result.graph.is_sparse
+    prune = watch.as_dict()["prune"]
+    assert prune["rounds"] >= 1
+    assert prune["seeded"] > 0  # the incremental cross-level reuse engaged
+    assert prune["truncated"] == 0
+
+
 def test_counters10_recursive_join_within_runtime_bound():
     """The top=59049 flagship of the recursive-join engine, 60 s bound.
 
@@ -365,6 +440,7 @@ def main(argv: Sequence[str]) -> int:
             for name, record in payload["cases"].items()
             if record["summary"] != EXPECTED_SUMMARIES[name]
             or record["seconds"] >= WALL_CLOCK_GUARDS[name]
+            or sorted(record.get("prune_stats", {})) != sorted(PRUNE_STATS_FIELDS)
         ]
         if failures:
             print("FAILED cases: %s" % ", ".join(failures))

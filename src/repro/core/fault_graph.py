@@ -157,6 +157,7 @@ class FaultGraph:
         "_dmin",
         "_weak_rows",
         "_weak_cols",
+        "_weak_keys",
         "_dense",
     )
 
@@ -258,6 +259,7 @@ class FaultGraph:
         self._dmin: Optional[int] = None
         self._weak_rows: Optional[np.ndarray] = None
         self._weak_cols: Optional[np.ndarray] = None
+        self._weak_keys: Optional[np.ndarray] = None
         self._dense: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -585,6 +587,23 @@ class FaultGraph:
                 self._weak_rows.setflags(write=False)
                 self._weak_cols.setflags(write=False)
         return self._weak_rows, self._weak_cols  # type: ignore[return-value]
+
+    def weakest_edge_keys(self) -> np.ndarray:
+        """The weakest edges as sorted canonical keys ``i * num_states + j``.
+
+        The quotient hand-off to the lattice descent's pruning engine
+        (:class:`repro.core.sparse.DoomedPairEngine`): at the identity
+        level the quotient's block ids *are* the top-state ids, so this
+        array seeds the level-0 doomed set directly, with no per-descent
+        re-projection.  Both engines emit the weakest edges in condensed
+        order, so the keys come back sorted and unique (cached).
+        """
+        if self._weak_keys is None:
+            rows, cols = self.weakest_edge_arrays()
+            keys = rows.astype(np.int64) * self._n + cols.astype(np.int64)
+            keys.setflags(write=False)
+            self._weak_keys = keys
+        return self._weak_keys
 
     def weakest_edges(self) -> List[EdgeKey]:
         """Edges (as ``(i, j)`` index pairs, i < j) whose weight equals dmin."""

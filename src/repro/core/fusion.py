@@ -85,7 +85,13 @@ from .partition import (
 )
 from .product import CrossProduct
 from .shm import _MAX_WORKERS, SharedWorkerPool, attached_arrays, resolve_workers
-from .sparse import doomed_pair_keys, iter_pair_chunks, sorted_key_membership
+from .sparse import (
+    DEFAULT_CANDIDATE_BUDGET,
+    DoomedPairEngine,
+    PruneStats,
+    iter_pair_chunks,
+    sorted_key_membership,
+)
 
 __all__ = [
     "FusionResult",
@@ -214,6 +220,13 @@ class FusionResult:
 #: handful of rounds (the implication depth of the quotient machine).
 _DOOMED_MAX_ROUNDS = 64
 
+#: Expansion-work budget of the sparse doomed-pair fixpoint, in expanded
+#: predecessor pairs / checked successor candidates.  Exceeding it stops
+#: the fixpoint early — sound (the level merely under-prunes) and now
+#: *reported*: the engine's :class:`repro.core.sparse.PruneStats` flag
+#: lands in the stopwatch's ``prune`` stage and in ``BENCH_perf.json``.
+_PRUNE_BUDGET = DEFAULT_CANDIDATE_BUDGET
+
 #: Rejected candidates tolerated per level before switching from the
 #: optimistic sequential scan to the bulk doomed-pair prune.  Low enough
 #: that failure-dominated levels (protocol mixes) amortise the fixpoint
@@ -246,7 +259,7 @@ _POOL_MIN_SURVIVORS = 256
 
 def _doomed_pairs(
     quotient: np.ndarray, weak_a: np.ndarray, weak_b: np.ndarray, num_blocks: int
-) -> np.ndarray:
+) -> Tuple[np.ndarray, PruneStats]:
     """Boolean ``(B, B)`` matrix of block pairs whose merge provably fails.
 
     Merging blocks ``(a, b)`` forces merging ``(δ(a, e), δ(b, e))`` for
@@ -266,22 +279,32 @@ def _doomed_pairs(
 
     This is the dense form, used for levels up to
     :data:`DESCENT_SPARSE_CUTOFF` blocks; larger levels use the sparse
-    :func:`repro.core.sparse.doomed_pair_keys` fixpoint instead.
+    :class:`repro.core.sparse.DoomedPairEngine` fixpoint instead.  The
+    returned :class:`repro.core.sparse.PruneStats` mirrors the sparse
+    engine's (``spent`` counts the dense rounds' ``B^2 * E`` sweeps) so
+    every level's prune is accounted uniformly.
     """
+    stats = PruneStats(num_blocks=num_blocks)
     doomed = np.zeros((num_blocks, num_blocks), dtype=bool)
     doomed[weak_a, weak_b] = True
     doomed[weak_b, weak_a] = True
     if quotient.size == 0:
-        return doomed
+        stats.keys = int(np.count_nonzero(np.triu(doomed, 1)))
+        return doomed, stats
     columns = [np.ascontiguousarray(quotient[:, e]) for e in range(quotient.shape[1])]
     for _ in range(_DOOMED_MAX_ROUNDS):
         grown = doomed
         for column in columns:
             grown = grown | doomed[column[:, None], column]
+        stats.rounds += 1
+        stats.spent += num_blocks * num_blocks * len(columns)
         if np.array_equal(grown, doomed):
             break
         doomed = grown
-    return doomed
+    else:
+        stats.truncated = True
+    stats.keys = int(np.count_nonzero(np.triu(doomed, 1)))
+    return doomed, stats
 
 
 # ----------------------------------------------------------------------
@@ -409,13 +432,17 @@ def _scan_level_sparse(
     first_mode: bool,
     get_shared: Callable[[], Optional[_DescentShared]],
     measure,
+    engine: DoomedPairEngine,
+    note_prune: Callable[[PruneStats], None],
 ) -> Tuple[Optional[Partition], List[Partition]]:
     """Scan one large lattice level without any ``O(B^2)`` structure.
 
     Mirrors the dense scan exactly: candidates are the block pairs in
     lexicographic order; the first :data:`_PRUNE_AFTER_FAILURES`
-    rejections are paid optimistically, then the sparse doomed-pair
-    fixpoint prunes in bulk and only survivors are closed — in
+    rejections are paid optimistically, then the descent's
+    :class:`repro.core.sparse.DoomedPairEngine` prunes in bulk —
+    seeded from the previous level, sharded over the pool when rounds
+    are big enough — and only survivors are closed, in
     :data:`_CLOSURE_BATCH`-sized batches, either in-process or across
     the persistent worker pool behind ``get_shared()`` — called, and the
     buffers published, only once a level actually has enough surviving
@@ -471,9 +498,13 @@ def _scan_level_sparse(
         if first_mode:
             return (candidate, improving)
 
-    # Phase 2 — sparse doomed-pair prune over the implication adjacency.
+    # Phase 2 — sparse doomed-pair prune over the implication adjacency
+    # (incremental across levels, parallel when rounds are big enough).
     with measure("prune"):
-        doomed = doomed_pair_keys(quotient, weak_a, weak_b, num_blocks)
+        doomed = engine.prune(
+            quotient, weak_a, weak_b, num_blocks, base_labels=base_labels
+        )
+    note_prune(engine.last_stats)
 
     def surviving_batches() -> Iterator[np.ndarray]:
         """Surviving candidates after the prune, in order, batched."""
@@ -560,12 +591,20 @@ def _scan_level_dense(
     num_blocks: int,
     first_mode: bool,
     measure,
+    engine: DoomedPairEngine,
+    note_prune: Callable[[PruneStats], None],
 ) -> Tuple[Optional[Partition], List[Partition]]:
     """Scan one small lattice level with the materialised pair arrays.
 
-    This is the previous engine's level scan, unchanged: optimistic
-    lexicographic evaluation, then the dense :func:`_doomed_pairs`
-    fixpoint and a vectorised survivor sweep.
+    This is the previous engine's level scan — optimistic lexicographic
+    evaluation, then a bulk prune and a vectorised survivor sweep — with
+    one addition: when the descent's :class:`DoomedPairEngine` already
+    carries a pruned level (the sparse levels above this one), the prune
+    continues that engine downwards, so the mapped seed is re-verified
+    in a round or two instead of re-deriving the dense ``(B, B)``
+    boolean fixpoint from scratch.  Unseeded descents (small tops that
+    never ran a sparse level) keep the dense :func:`_doomed_pairs` path
+    of the previous engine unchanged.
     """
     pair_rows, pair_cols = condensed_indices(num_blocks)
     num_pairs = pair_rows.size
@@ -612,11 +651,23 @@ def _scan_level_dense(
             failures += 1
         index += 1
     if chosen is None and index < num_pairs:
-        with measure("prune"):
-            doomed = _doomed_pairs(quotient, weak_a, weak_b, num_blocks)
-        remaining = index + np.nonzero(
-            ~doomed[pair_rows[index:], pair_cols[index:]]
-        )[0]
+        if engine.seedable:
+            with measure("prune"):
+                doomed_keys = engine.prune(
+                    quotient, weak_a, weak_b, num_blocks, base_labels=base_labels
+                )
+            note_prune(engine.last_stats)
+            alive = ~sorted_key_membership(
+                doomed_keys, pair_rows[index:], pair_cols[index:], num_blocks
+            )
+        else:
+            with measure("prune"):
+                doomed, prune_stats = _doomed_pairs(
+                    quotient, weak_a, weak_b, num_blocks
+                )
+            note_prune(prune_stats)
+            alive = ~doomed[pair_rows[index:], pair_cols[index:]]
+        remaining = index + np.nonzero(alive)[0]
         for survivor in remaining.tolist():
             if evaluate(survivor) and first_mode:
                 break
@@ -682,6 +733,30 @@ def _descend(
     measure = stopwatch.measure if stopwatch is not None else (lambda _name: nullcontext())
     first_mode = strategy is _first_candidate
     shared_holder: List[Optional[_DescentShared]] = [None]
+    # One pruning engine per descent: the weakest edges are constant and
+    # the levels only coarsen within it, which is what makes the
+    # engine's cross-level seeding sound.  The graph hands over the
+    # identity level's seed keys ready-made (they are cached across the
+    # descents of one generation).
+    engine = DoomedPairEngine(
+        pool=pool,
+        budget=_PRUNE_BUDGET,
+        max_rounds=_DOOMED_MAX_ROUNDS,
+        identity_seed=graph.weakest_edge_keys(),
+    )
+
+    def note_prune(stats: Optional[PruneStats]) -> None:
+        """Fold one level's prune outcome into the stopwatch's stage."""
+        if stopwatch is None or stats is None:
+            return
+        stopwatch.accumulate(
+            "prune",
+            rounds=stats.rounds,
+            forward_rounds=stats.forward_rounds,
+            spent=stats.spent,
+            truncated=int(stats.truncated),
+            seeded=stats.seeded,
+        )
 
     def get_shared() -> Optional[_DescentShared]:
         """This descent's shared buffers, published on first real use.
@@ -712,12 +787,12 @@ def _descend(
             if num_blocks > DESCENT_SPARSE_CUTOFF:
                 chosen, improving = _scan_level_sparse(
                     quotient, base_labels, weak_a, weak_b, num_blocks,
-                    first_mode, get_shared, measure,
+                    first_mode, get_shared, measure, engine, note_prune,
                 )
             else:
                 chosen, improving = _scan_level_dense(
                     quotient, base_labels, weak_a, weak_b, num_blocks,
-                    first_mode, measure,
+                    first_mode, measure, engine, note_prune,
                 )
             if chosen is None and improving:
                 chosen = strategy(graph, improving)
@@ -727,6 +802,7 @@ def _descend(
             steps += 1
         return current
     finally:
+        engine.retire()
         if shared_holder[0] is not None:
             shared_holder[0].retire()
 

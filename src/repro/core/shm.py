@@ -19,6 +19,10 @@ task:
   segments so long sessions cannot accumulate mappings.
 * :class:`SharedWorkerPool` — a lazily-spawned ``ProcessPoolExecutor``
   plus the bundles its tasks read, closed together in one ``finally``.
+* :class:`SharedScratch` — a reusable, growable shared array for
+  per-round payloads (the pruning fixpoint's frontier and doomed set),
+  rewritten in place between task waves instead of churning one fresh
+  segment per round through every worker's attach cache.
 * :func:`resolve_workers` — the worker-count policy (moved here from
   ``fusion`` so the ledger build can use it without an import cycle;
   ``repro.core.fusion.resolve_workers`` remains as a re-export).
@@ -43,6 +47,7 @@ from .exceptions import FusionError
 
 __all__ = [
     "SharedArrayBundle",
+    "SharedScratch",
     "SharedWorkerPool",
     "attached_arrays",
     "resolve_workers",
@@ -311,3 +316,60 @@ class SharedWorkerPool:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class SharedScratch:
+    """A reusable, growable shared array for per-round task payloads.
+
+    The doomed-pair pruning fixpoint ships a new frontier (and, for its
+    forward rounds, the doomed set) to the workers every round.  A fresh
+    segment per round would churn segment names through every worker's
+    attach cache; a scratch keeps one segment alive and rewrites it in
+    place between task waves — legal for the same reason as the descent's
+    label scratch: the owner only writes while no tasks are in flight —
+    recreating with headroom only when a payload outgrows the capacity.
+    """
+
+    __slots__ = ("_pool", "_dtype", "_headroom", "_bundle")
+
+    def __init__(
+        self,
+        pool: SharedWorkerPool,
+        dtype: np.dtype = np.int64,
+        headroom: float = 1.5,
+    ) -> None:
+        self._pool = pool
+        self._dtype = np.dtype(dtype)
+        self._headroom = float(headroom)
+        self._bundle: Optional[SharedArrayBundle] = None
+
+    @property
+    def capacity(self) -> int:
+        """Elements the current segment can hold (0 before first write)."""
+        if self._bundle is None or self._bundle.closed:
+            return 0
+        return int(self._bundle.arrays["data"].size)
+
+    def write(self, array: np.ndarray) -> Tuple[Dict[str, object], int]:
+        """Copy ``array`` into the scratch; returns ``(meta, length)``.
+
+        Workers slice the payload back out as
+        ``attached_arrays(meta)["data"][:length]``.  May only be called
+        with no tasks reading the previous payload in flight.
+        """
+        array = np.ascontiguousarray(array, dtype=self._dtype)
+        if array.size > self.capacity or self._bundle is None or self._bundle.closed:
+            if self._bundle is not None:
+                self._pool.retire(self._bundle)
+            grown = max(int(array.size * self._headroom), array.size, 1)
+            self._bundle = self._pool.publish(
+                {"data": np.zeros(grown, dtype=self._dtype)}
+            )
+        self._bundle.arrays["data"][: array.size] = array
+        return self._bundle.meta, int(array.size)
+
+    def close(self) -> None:
+        """Unlink the backing segment (safe to call repeatedly)."""
+        if self._bundle is not None:
+            self._pool.retire(self._bundle)
+            self._bundle = None

@@ -33,8 +33,18 @@ index/value arrays (CSR/COO style) because the container ships no
 * :class:`PairLedger` — the sparse fault-graph storage built on top of
   :func:`low_weight_pairs`: exact weights for every pair below a cap,
   with vectorised incremental folds;
-* :func:`doomed_pair_keys` — the pair-implication pruning fixpoint of the
-  lattice descent, propagated backwards over the sparse adjacency only.
+* :class:`ImplicationIndex` — the per-event implication adjacency of one
+  quotient table (preimage CSR for backward expansion, forward image
+  rows for the density-adaptive forward pass), built once and reusable
+  across fixpoint calls;
+* :class:`DoomedPairEngine` — the pair-implication pruning fixpoint of
+  the lattice descent: parallel (frontier rounds sharded over a
+  :class:`repro.core.shm.SharedWorkerPool`, the index published once per
+  level via shared memory), incremental (each level's doomed set is
+  seeded from the previous level's keys mapped through the refined
+  quotient) and density-adaptive (rounds whose backward preimage product
+  outgrows a scan of the live candidates switch to the forward
+  direction); :func:`doomed_pair_keys` is its one-shot functional form.
 
 Everything here is exact (never approximate): the ledger records which
 weights it knows exactly (``weight < cap``) and callers escalate the cap
@@ -48,19 +58,24 @@ pair's exact weight is the same from every leaf that finds it).
 
 from __future__ import annotations
 
+from concurrent.futures import wait as _wait_futures
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .exceptions import PartitionError
-from .partition import Partition, _canonicalise
-from .shm import SharedWorkerPool, attached_arrays
+from .partition import Partition, _canonicalise, _first_of_each_block
+from .shm import SharedScratch, SharedWorkerPool, attached_arrays
 from .types import narrow_index_dtype
 
 __all__ = [
     "CandidateBudgetError",
+    "DoomedPairEngine",
+    "ImplicationIndex",
     "LedgerBuilder",
     "PairLedger",
+    "PruneStats",
     "coblock_pair_arrays",
     "condensed_indices",
     "doomed_pair_keys",
@@ -645,6 +660,711 @@ class PairLedger:
         return least if least < self.cap else None
 
 
+# ----------------------------------------------------------------------
+# The doomed-pair pruning fixpoint
+# ----------------------------------------------------------------------
+#: Forward/backward cost crossover: a round whose backward preimage
+#: product exceeds this many times the cost of one forward sweep over
+#: the live candidates (``live_pairs * num_events`` membership checks)
+#: runs forward instead.  The two directions add the identical fresh set
+#: each round (a forward sweep finds exactly the not-yet-doomed
+#: predecessors of the frontier — see :meth:`DoomedPairEngine.prune`),
+#: so the crossover changes wall-clock only, never results.
+_FORWARD_SWITCH_FACTOR = 4
+
+#: Pair-enumeration chunk of a forward sweep; peak memory per sweep is a
+#: few of these, never the ``O(B^2)`` pair space at once.
+_FORWARD_CHUNK = 1 << 20
+
+#: Minimum expansion size (preimage-product sum of a backward round, or
+#: membership checks of a forward sweep) before a round fans out to the
+#: worker pool; below it the serial NumPy passes finish faster than task
+#: round-trips.  The prune analogue of ``_POOL_MIN_CANDIDATES``.
+_PRUNE_POOL_MIN_EXPAND = 1 << 22
+
+
+@dataclass
+class PruneStats:
+    """Outcome of one doomed-pair fixpoint run.
+
+    ``spent`` counts budget units — expanded predecessor pairs of
+    backward rounds plus checked live candidates (times events) of
+    forward rounds.  ``truncated`` is the flag PR 3's engine silently
+    swallowed: when set, the fixpoint stopped on ``budget``/``max_rounds``
+    before converging, so the doomed set is a (still sound) subset of the
+    full fixpoint and the level under-prunes.  ``seeded`` counts the keys
+    inherited from the previous lattice level's doomed set.
+    """
+
+    num_blocks: int = 0
+    rounds: int = 0
+    forward_rounds: int = 0
+    spent: int = 0
+    truncated: bool = False
+    seeded: int = 0
+    keys: int = 0
+
+
+class ImplicationIndex:
+    """Per-event implication adjacency of one quotient table, both ways.
+
+    The fixpoint needs, per event ``e``, the *preimage* CSR (which
+    blocks step into ``b`` under ``e`` — backward expansion) and the
+    forward *image* row (where each block steps — the forward sweep's
+    membership checks).  PR 3 rebuilt the ``argsort``/``bincount``/
+    ``cumsum`` triple inside every ``doomed_pair_keys`` call; hoisted
+    here, the index is built once per quotient, reusable across calls,
+    and is one contiguous pack of arrays the parallel engine publishes
+    over shared memory in a single segment.
+
+    Arrays (``E`` events over ``B`` blocks, narrow index dtype):
+
+    * ``order`` — ``(E, B)``: block ids sorted by image under the event;
+    * ``indptr`` — ``(E, B + 1)``: CSR row pointers into ``order``;
+    * ``counts`` — ``(E, B)``: preimage sizes (kept separately so the
+      engine's per-round cost estimates stay one fancy-indexing pass);
+    * ``images`` — ``(E, B)``: the forward transition rows (the
+      quotient, transposed contiguous).
+    """
+
+    __slots__ = ("num_blocks", "num_events", "order", "indptr", "counts", "images")
+
+    def __init__(self, quotient: np.ndarray, num_blocks: Optional[int] = None) -> None:
+        quotient = np.asarray(quotient)
+        blocks = int(quotient.shape[0] if num_blocks is None else num_blocks)
+        events = int(quotient.shape[1]) if quotient.ndim == 2 and quotient.size else 0
+        dtype = _index_dtype(blocks + 1)
+        self.num_blocks = blocks
+        self.num_events = events
+        self.order = np.empty((events, blocks), dtype=dtype)
+        self.indptr = np.empty((events, blocks + 1), dtype=dtype)
+        self.counts = np.empty((events, blocks), dtype=dtype)
+        self.images = np.empty((events, blocks), dtype=dtype)
+        for event in range(events):
+            image = quotient[:, event]
+            self.images[event] = image
+            self.order[event] = np.argsort(image, kind="stable")
+            counts = np.bincount(image, minlength=blocks)
+            self.counts[event] = counts
+            self.indptr[event, 0] = 0
+            self.indptr[event, 1:] = np.cumsum(counts)
+
+    def shared_arrays(self) -> Dict[str, np.ndarray]:
+        """The arrays to publish for pool workers (one bundle per level)."""
+        return {
+            "order": self.order,
+            "indptr": self.indptr,
+            "counts": self.counts,
+            "images": self.images,
+        }
+
+    @classmethod
+    def _from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "ImplicationIndex":
+        """Worker-side rebuild from the attached shared views (zero-copy)."""
+        index = cls.__new__(cls)
+        index.order = arrays["order"]
+        index.indptr = arrays["indptr"]
+        index.counts = arrays["counts"]
+        index.images = arrays["images"]
+        index.num_events = int(index.order.shape[0])
+        index.num_blocks = int(index.order.shape[1])
+        return index
+
+
+def _expand_backward_raw(
+    index: ImplicationIndex, event: int, upper: np.ndarray, lower: np.ndarray
+) -> np.ndarray:
+    """Canonical predecessor-pair keys of one frontier slice under one event.
+
+    Unsorted and unfiltered, but — because preimage sets of distinct
+    blocks under one event are disjoint, so an unordered predecessor
+    pair determines its frontier pair uniquely — duplicate-free apart
+    from degenerate diagonal seeds.  Duplicates live entirely *across*
+    events (and are dealt with by the callers' membership filters
+    before anything gets sorted).
+    """
+    num_blocks = index.num_blocks
+    counts = index.counts[event]
+    count_u = counts[upper].astype(np.int64)
+    count_v = counts[lower].astype(np.int64)
+    totals = count_u * count_v
+    grand = int(totals.sum())
+    if grand == 0:
+        return np.empty(0, dtype=np.int64)
+    order = index.order[event]
+    indptr = index.indptr[event]
+    key_of_out = np.repeat(np.arange(upper.size, dtype=np.int64), totals)
+    offsets = np.arange(grand, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(totals)[:-1])), totals
+    )
+    nv = count_v[key_of_out]
+    pre_u = order[indptr[upper[key_of_out]] + offsets // nv]
+    pre_v = order[indptr[lower[key_of_out]] + offsets % nv]
+    lo = np.minimum(pre_u, pre_v)  # narrow dtype: half the memory traffic
+    hi = np.maximum(pre_u, pre_v)
+    distinct = lo != hi
+    return lo[distinct].astype(np.int64) * num_blocks + hi[distinct]
+
+
+def _expand_backward_slice(
+    index: ImplicationIndex,
+    event: int,
+    upper: np.ndarray,
+    lower: np.ndarray,
+    doomed: Optional[np.ndarray] = None,
+    dup_free: bool = False,
+) -> np.ndarray:
+    """Sorted, doomed-filtered expansion of one (event, frontier) slice.
+
+    The pool-task form of :func:`_expand_backward_raw`: keys already
+    doomed are dropped *before* the sort — on late rounds almost
+    everything is, which is what retired the 20M-element global
+    ``np.unique`` of PR 3 — and the remainder is sorted for the owner's
+    merge pipeline.  ``dup_free`` (no diagonal keys in the frontier, the
+    per-round common case) downgrades the de-duplicating ``np.unique``
+    to a plain sort.
+    """
+    keys = _expand_backward_raw(index, event, upper, lower)
+    if doomed is not None and doomed.size:
+        keys = keys[~_sorted_contains(doomed, keys)]
+    return np.sort(keys) if dup_free else np.unique(keys)
+
+
+def _row_pair_chunks(
+    row_lo: int, row_hi: int, num_items: int, chunk_size: int = _FORWARD_CHUNK
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """``(rows, cols)`` chunks of pairs ``i < j`` with ``row_lo <= i < row_hi``.
+
+    The row-range form of :func:`iter_pair_chunks`, in the same condensed
+    order, so forward-sweep outputs concatenate into sorted key arrays.
+    """
+    pending_rows: List[np.ndarray] = []
+    pending_cols: List[np.ndarray] = []
+    pending = 0
+    for row in range(row_lo, min(row_hi, num_items - 1)):
+        cols = np.arange(row + 1, num_items, dtype=np.int64)
+        pending_rows.append(np.full(cols.size, row, dtype=np.int64))
+        pending_cols.append(cols)
+        pending += cols.size
+        while pending >= chunk_size:
+            rows_cat = np.concatenate(pending_rows)
+            cols_cat = np.concatenate(pending_cols)
+            yield rows_cat[:chunk_size], cols_cat[:chunk_size]
+            pending_rows = [rows_cat[chunk_size:]]
+            pending_cols = [cols_cat[chunk_size:]]
+            pending -= chunk_size
+    if pending:
+        yield np.concatenate(pending_rows), np.concatenate(pending_cols)
+
+
+def _forward_sweep(
+    index: ImplicationIndex,
+    doomed: np.ndarray,
+    row_lo: int,
+    row_hi: int,
+    chunk_size: int = _FORWARD_CHUNK,
+) -> np.ndarray:
+    """Newly doomed keys among the live pairs of rows ``[row_lo, row_hi)``.
+
+    One full forward round over the row range: a live (not yet doomed)
+    pair is newly doomed when some event maps it onto a doomed pair.
+    Streams the pair space in ``O(chunk)`` memory; the output comes back
+    sorted (chunks arrive in condensed order) and already filtered
+    against ``doomed``, and row ranges never overlap, so per-range
+    outputs concatenate into the round's fresh set directly.
+    """
+    num_blocks = index.num_blocks
+    parts: List[np.ndarray] = []
+    for rows, cols in _row_pair_chunks(row_lo, row_hi, num_blocks, chunk_size):
+        keys = rows * num_blocks + cols
+        alive = ~_sorted_contains(doomed, keys)
+        if not alive.any():
+            continue
+        rows = rows[alive]
+        cols = cols[alive]
+        keys = keys[alive]
+        hit = np.zeros(rows.size, dtype=bool)
+        for event in range(index.num_events):
+            image = index.images[event]
+            succ_u = image[rows].astype(np.int64)
+            succ_v = image[cols].astype(np.int64)
+            lo = np.minimum(succ_u, succ_v)
+            hi = np.maximum(succ_u, succ_v)
+            # A collapsed successor (lo == hi) only dooms through a
+            # degenerate diagonal seed key, which the membership check
+            # handles uniformly — matching the backward expansion.
+            hit |= _sorted_contains(doomed, lo * num_blocks + hi)
+        if hit.any():
+            parts.append(keys[hit])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def _prune_backward_task(
+    index_meta: Dict[str, object],
+    frontier_meta: Dict[str, object],
+    frontier_len: int,
+    doomed_len: int,
+    event: int,
+    lo: int,
+    hi: int,
+    dup_free: bool,
+) -> np.ndarray:
+    """Pool task: expand one (event, frontier-slice) through the shared CSR.
+
+    The frontier scratch holds the round's frontier followed by the
+    current doomed set (published together so workers pre-filter their
+    output before pickling it back).
+    """
+    index = ImplicationIndex._from_arrays(attached_arrays(index_meta))
+    data = attached_arrays(frontier_meta)["data"]
+    frontier = data[:frontier_len]
+    doomed = data[frontier_len : frontier_len + doomed_len]
+    keys = frontier[lo:hi]
+    return _expand_backward_slice(
+        index, event, keys // index.num_blocks, keys % index.num_blocks,
+        doomed, dup_free,
+    )
+
+
+def _prune_forward_task(
+    index_meta: Dict[str, object],
+    doomed_meta: Dict[str, object],
+    doomed_len: int,
+    row_lo: int,
+    row_hi: int,
+) -> np.ndarray:
+    """Pool task: forward-sweep one row range against the shared doomed set."""
+    index = ImplicationIndex._from_arrays(attached_arrays(index_meta))
+    doomed = attached_arrays(doomed_meta)["data"][:doomed_len]
+    return _forward_sweep(index, doomed, row_lo, row_hi)
+
+
+def _merge_disjoint_sorted(base: np.ndarray, extra: np.ndarray) -> np.ndarray:
+    """O(n + m) merge of two sorted unique key arrays with no common element.
+
+    Replaces the per-round ``np.union1d`` (which re-sorts the whole
+    concatenation every round) on the fixpoint's hot path.
+    """
+    if extra.size == 0:
+        return base
+    if base.size == 0:
+        return extra
+    return np.insert(base, np.searchsorted(base, extra), extra)
+
+
+def _merge_fresh_parts(
+    parts: Sequence[np.ndarray], doomed: np.ndarray
+) -> np.ndarray:
+    """Fold per-(event, slice) expansion parts into one sorted fresh array.
+
+    Each part is sorted, internally duplicate-free and pre-filtered
+    against ``doomed``; only cross-part (cross-event) duplicates remain,
+    removed with one membership pass per part.  The result is the set
+    union minus ``doomed`` in sorted order — independent of part
+    granularity and order, which is what keeps the serial and every
+    parallel sharding byte-identical.
+    """
+    fresh = np.empty(0, dtype=np.int64)
+    for part in parts:
+        if part.size == 0:
+            continue
+        part = part[~_sorted_contains(doomed, part)]
+        if part.size == 0:
+            continue
+        if fresh.size:
+            part = part[~_sorted_contains(fresh, part)]
+        fresh = _merge_disjoint_sorted(fresh, part)
+    return fresh
+
+
+def _balanced_cuts(weights: np.ndarray, num_slices: int) -> List[int]:
+    """Deterministic slice boundaries with roughly equal weight per slice."""
+    size = int(weights.size)
+    if size == 0:
+        return [0, 0]
+    cums = np.cumsum(weights.astype(np.int64))
+    total = int(cums[-1])
+    slices = max(1, min(int(num_slices), size))
+    targets = (np.arange(1, slices, dtype=np.int64) * total) // slices
+    cuts = np.searchsorted(cums, targets, side="left") + 1
+    bounds = sorted({int(cut) for cut in cuts if 0 < int(cut) < size})
+    return [0] + bounds + [size]
+
+
+class DoomedPairEngine:
+    """Parallel, incremental doomed-pair pruning fixpoint of one descent.
+
+    Merging blocks ``(a, b)`` of a closed partition forces merging
+    ``(δ(a, e), δ(b, e))`` for every event ``e`` (the substitution
+    property); a merge candidate is *doomed* when some chain of those
+    implications reaches a weakest edge.  The doomed set is kept as
+    sorted canonical pair keys ``a * B + b`` (``a < b``) and grown
+    semi-naively in whichever direction is cheaper per round:
+
+    * **backward** — expand the newly-doomed frontier through the
+      per-event preimage CSR of an :class:`ImplicationIndex`;
+    * **forward** — when the frontier's preimage product ``count_u *
+      count_v`` outgrows a scan of the live candidates
+      (:data:`_FORWARD_SWITCH_FACTOR`), stream the not-yet-doomed pairs
+      and test their successor pairs against the doomed set instead.
+
+    The two directions add the *same* fresh set each round: semi-naive
+    backward finds the not-yet-doomed predecessors of the frontier, and
+    because every earlier round expanded its full frontier, all other
+    doomed pairs' predecessors are already doomed — which is exactly the
+    set a full forward sweep discovers.  Direction choices therefore
+    affect wall-clock only.
+
+    **Parallel**: with a usable :class:`repro.core.shm.SharedWorkerPool`,
+    rounds above :data:`_PRUNE_POOL_MIN_EXPAND` shard over the workers —
+    the index is published once per level, the frontier and doomed set
+    travel through a rewritable :class:`repro.core.shm.SharedScratch`,
+    and tasks carry only slice bounds.  The fixpoint is monotone and the
+    merge is set-based, so every worker count is byte-identical to the
+    serial path.
+
+    **Incremental**: one engine serves one descent.  Each level's doomed
+    set is seeded from the previous pruned level's keys mapped through
+    the refined quotient: within a descent the partitions only coarsen
+    and every chosen candidate separates the (descent-constant) weakest
+    edges, so the image of a doomed chain is a doomed chain — if any
+    intermediate image pair collapsed, every later one (including the
+    final weakest pair, which stays separated) would collapse too.
+    Seeding therefore starts the fixpoint from a sound subset and only
+    the genuinely new frontier is expanded.  A ``base_labels`` vector
+    that is not a coarsening of the remembered level resets the cache
+    instead of seeding (checked in O(n)).
+
+    Early stops (``budget`` on expansion work, ``max_rounds``) are sound
+    — a truncated doomed set only prunes less — and are now *visible*:
+    :attr:`last_stats` carries rounds, spent budget and the truncation
+    flag for every call.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[SharedWorkerPool] = None,
+        budget: int = DEFAULT_CANDIDATE_BUDGET,
+        max_rounds: int = 64,
+        identity_seed: Optional[np.ndarray] = None,
+    ) -> None:
+        self._pool = pool
+        self._budget = int(budget)
+        self._max_rounds = int(max_rounds)
+        # Pre-computed sorted weakest-edge keys of the identity level
+        # (the fault graph's hand-off: block ids there *are* state ids).
+        self._identity_seed = identity_seed
+        self._prev_labels: Optional[np.ndarray] = None
+        self._prev_blocks = 0
+        self._prev_doomed: Optional[np.ndarray] = None
+        self._index_bundle = None
+        self._scratch: Optional[SharedScratch] = None
+        self.last_stats: Optional[PruneStats] = None
+
+    @property
+    def seedable(self) -> bool:
+        """True once a pruned level is remembered for cross-level seeding.
+
+        The descent's small (dense-scan) levels consult this: once the
+        sparse levels above them have paid for the fixpoint, continuing
+        the key-based engine downwards re-verifies the mapped seed in a
+        round or two instead of re-deriving a ``(B, B)`` boolean
+        fixpoint from scratch.
+        """
+        return self._prev_doomed is not None
+
+    # ------------------------------------------------------------------
+    def prune(
+        self,
+        quotient: np.ndarray,
+        weak_a: np.ndarray,
+        weak_b: np.ndarray,
+        num_blocks: int,
+        base_labels: Optional[np.ndarray] = None,
+        index: Optional[ImplicationIndex] = None,
+    ) -> np.ndarray:
+        """The doomed-pair keys of one lattice level, sorted.
+
+        ``weak_a``/``weak_b`` are the weakest edges projected into the
+        level's block space; ``base_labels`` (the level's partition
+        labels over the top states) enables the incremental seeding —
+        omit it for one-shot, stateless use.  Returns the sorted key
+        array; :attr:`last_stats` describes the run.
+        """
+        num_blocks = int(num_blocks)
+        stats = PruneStats(num_blocks=num_blocks)
+        if (
+            base_labels is not None
+            and self._identity_seed is not None
+            and num_blocks == base_labels.size
+        ):
+            doomed = np.asarray(self._identity_seed, dtype=np.int64)
+        else:
+            weak_lo = np.minimum(weak_a, weak_b).astype(np.int64)
+            weak_hi = np.maximum(weak_a, weak_b).astype(np.int64)
+            doomed = np.unique(weak_lo * num_blocks + weak_hi)
+        # The seeding proof needs this level to separate every weakest
+        # edge (the mapped chains must end at a *distinct* weak pair).
+        # Always true inside a descent; a degenerate direct call with a
+        # collapsed weak pair falls back to an unseeded fixpoint.
+        separated = weak_a.size == 0 or not bool(
+            np.any(np.asarray(weak_a) == np.asarray(weak_b))
+        )
+        mapped = self._seed_from_previous(base_labels, num_blocks) if separated else None
+        if mapped is not None and mapped.size:
+            stats.seeded = int(mapped.size)
+            doomed = _merge_disjoint_sorted(
+                doomed, mapped[~_sorted_contains(doomed, mapped)]
+            )
+        if quotient.size and doomed.size:
+            if index is None:
+                index = ImplicationIndex(quotient, num_blocks)
+            try:
+                doomed = self._fixpoint(index, doomed, stats)
+            finally:
+                self._retire_index()
+        self._remember(base_labels, num_blocks, doomed)
+        stats.keys = int(doomed.size)
+        self.last_stats = stats
+        return doomed
+
+    def retire(self) -> None:
+        """Release shared-memory resources (the pool itself lives on)."""
+        self._retire_index()
+        if self._scratch is not None:
+            self._scratch.close()
+            self._scratch = None
+
+    # ------------------------------------------------------------------
+    def _remember(
+        self, base_labels: Optional[np.ndarray], num_blocks: int, doomed: np.ndarray
+    ) -> None:
+        if base_labels is None:
+            self._prev_labels = None
+            self._prev_doomed = None
+            self._prev_blocks = 0
+            return
+        self._prev_labels = base_labels
+        self._prev_blocks = num_blocks
+        self._prev_doomed = doomed
+
+    def _seed_from_previous(
+        self, base_labels: Optional[np.ndarray], num_blocks: int
+    ) -> Optional[np.ndarray]:
+        """The previous level's doomed keys mapped through the refinement.
+
+        ``None`` when there is no usable previous level; otherwise the
+        sorted unique image keys whose endpoints stay distinct (pairs
+        the chosen candidate already merged vanish — their doom predate
+        is spent).
+        """
+        prev_labels = self._prev_labels
+        prev_doomed = self._prev_doomed
+        if base_labels is None or prev_labels is None or prev_doomed is None:
+            return None
+        block_map = base_labels[_first_of_each_block(prev_labels)]
+        if block_map.size != self._prev_blocks or not np.array_equal(
+            block_map[prev_labels], base_labels
+        ):
+            return None  # not a coarsening of the remembered level
+        if prev_doomed.size == 0:
+            return np.empty(0, dtype=np.int64)
+        map_u = block_map[prev_doomed // self._prev_blocks].astype(np.int64)
+        map_v = block_map[prev_doomed % self._prev_blocks].astype(np.int64)
+        lo = np.minimum(map_u, map_v)
+        hi = np.maximum(map_u, map_v)
+        keep = lo != hi
+        return np.unique(lo[keep] * num_blocks + hi[keep])
+
+    # ------------------------------------------------------------------
+    def _fixpoint(
+        self, index: ImplicationIndex, doomed: np.ndarray, stats: PruneStats
+    ) -> np.ndarray:
+        num_blocks = index.num_blocks
+        num_events = index.num_events
+        total_pairs = num_blocks * (num_blocks - 1) // 2
+        frontier = doomed
+        spent = 0
+        while frontier.size:
+            if stats.rounds + stats.forward_rounds >= self._max_rounds:
+                stats.truncated = True
+                break
+            upper = frontier // num_blocks
+            lower = frontier % num_blocks
+            # O(frontier) cost estimates per event: they drive the
+            # budget gate, the direction choice and the parallel
+            # sharding, all owner-side and deterministic.
+            totals_by_event: List[np.ndarray] = []
+            for event in range(num_events):
+                counts = index.counts[event]
+                totals_by_event.append(
+                    counts[upper].astype(np.int64) * counts[lower].astype(np.int64)
+                )
+            grands = [int(totals.sum()) for totals in totals_by_event]
+            grand_total = sum(grands)
+            live_pairs = total_pairs - int(doomed.size)
+            forward_cost = live_pairs * num_events
+            if num_events and grand_total > _FORWARD_SWITCH_FACTOR * forward_cost:
+                # Budget accounting is symmetric with the backward gate:
+                # the work that trips the budget is charged even though
+                # it never runs, so truncated runs' ``spent`` values are
+                # comparable whichever direction refused.
+                spent += forward_cost
+                if spent > self._budget:
+                    stats.truncated = True
+                    break
+                stats.forward_rounds += 1
+                fresh = self._forward_round(index, doomed, forward_cost)
+            else:
+                run_events = []
+                tripped = False
+                for event in range(num_events):
+                    if grands[event] == 0:
+                        continue
+                    spent += grands[event]
+                    if spent > self._budget:
+                        tripped = True
+                        break
+                    run_events.append(event)
+                if tripped:
+                    stats.truncated = True
+                    break
+                if not run_events:
+                    break
+                stats.rounds += 1
+                fresh = self._backward_round(
+                    index, frontier, doomed, upper, lower,
+                    totals_by_event, run_events,
+                )
+            if fresh.size == 0:
+                break
+            doomed = _merge_disjoint_sorted(doomed, fresh)
+            frontier = fresh
+        stats.spent = spent
+        return doomed
+
+    # ------------------------------------------------------------------
+    def _pool_ready(self, workload: int) -> bool:
+        pool = self._pool
+        return (
+            pool is not None
+            and pool.usable
+            and pool.workers > 1
+            and workload >= _PRUNE_POOL_MIN_EXPAND
+        )
+
+    def _published_index(self, index: ImplicationIndex) -> Dict[str, object]:
+        if self._index_bundle is None or self._index_bundle.closed:
+            self._index_bundle = self._pool.publish(index.shared_arrays())
+        return self._index_bundle.meta
+
+    def _retire_index(self) -> None:
+        if self._index_bundle is not None:
+            if self._pool is not None:
+                self._pool.retire(self._index_bundle)
+            self._index_bundle = None
+
+    def _collect(self, futures) -> List[np.ndarray]:
+        """Results in submission order; on error, drain before raising
+        (the next round rewrites the scratch, which must not race)."""
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            _wait_futures(futures)
+            raise
+
+    def _backward_round(
+        self,
+        index: ImplicationIndex,
+        frontier: np.ndarray,
+        doomed: np.ndarray,
+        upper: np.ndarray,
+        lower: np.ndarray,
+        totals_by_event: Sequence[np.ndarray],
+        run_events: Sequence[int],
+    ) -> np.ndarray:
+        """One backward round's fresh keys (sorted, not yet in ``doomed``).
+
+        Serial path: each event's raw expansion is membership-filtered
+        against everything seen so far *before* any sorting, so sort
+        work tracks the genuinely new keys (a few percent of the raw
+        expansion) instead of the full duplicate-heavy output.  Pooled
+        path: (event, frontier-slice) tasks pre-filter and sort against
+        the published doomed set worker-side, and the owner's merge
+        pipeline removes the remaining cross-event duplicates — the same
+        set either way.
+        """
+        grand_total = sum(int(totals_by_event[event].sum()) for event in run_events)
+        # Diagonal keys (only degenerate seed inputs produce them) are
+        # the one source of within-part duplicates; without them a plain
+        # sort replaces the de-duplicating np.unique.
+        dup_free = not bool((upper == lower).any())
+        if not self._pool_ready(grand_total):
+            seen = doomed
+            fresh = np.empty(0, dtype=np.int64)
+            for event in run_events:
+                keys = _expand_backward_raw(index, event, upper, lower)
+                keys = keys[~_sorted_contains(seen, keys)]
+                if keys.size == 0:
+                    continue
+                keys = np.sort(keys) if dup_free else np.unique(keys)
+                seen = _merge_disjoint_sorted(seen, keys)
+                fresh = _merge_disjoint_sorted(fresh, keys)
+            return fresh
+        pool = self._pool
+        index_meta = self._published_index(index)
+        if self._scratch is None:
+            self._scratch = SharedScratch(pool)
+        frontier_meta, written = self._scratch.write(
+            np.concatenate((frontier, doomed))
+        )
+        doomed_len = written - frontier.size
+        target = max(grand_total // (pool.workers * 2), 1)
+        futures = []
+        for event in run_events:
+            totals = totals_by_event[event]
+            grand = int(totals.sum())
+            bounds = _balanced_cuts(totals, max(1, grand // target))
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                futures.append(
+                    pool.submit(
+                        _prune_backward_task,
+                        index_meta, frontier_meta, int(frontier.size),
+                        int(doomed_len), event, int(lo), int(hi), dup_free,
+                    )
+                )
+        return _merge_fresh_parts(self._collect(futures), doomed)
+
+    def _forward_round(
+        self, index: ImplicationIndex, doomed: np.ndarray, forward_cost: int
+    ) -> np.ndarray:
+        num_blocks = index.num_blocks
+        if not self._pool_ready(forward_cost):
+            return _forward_sweep(index, doomed, 0, num_blocks)
+        pool = self._pool
+        index_meta = self._published_index(index)
+        if self._scratch is None:
+            self._scratch = SharedScratch(pool)
+        doomed_meta, doomed_len = self._scratch.write(doomed)
+        row_weights = np.arange(num_blocks - 1, 0, -1, dtype=np.int64)
+        bounds = _balanced_cuts(row_weights, pool.workers * 2)
+        futures = [
+            pool.submit(
+                _prune_forward_task,
+                index_meta, doomed_meta, int(doomed_len), int(lo), int(hi),
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        parts = [part for part in self._collect(futures) if part.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        # Row ranges are disjoint and streamed in condensed order, so
+        # the concatenation is already the sorted fresh set.
+        return np.concatenate(parts)
+
+
 def doomed_pair_keys(
     quotient: np.ndarray,
     weak_a: np.ndarray,
@@ -652,86 +1372,26 @@ def doomed_pair_keys(
     num_blocks: int,
     budget: int = DEFAULT_CANDIDATE_BUDGET,
     max_rounds: int = 64,
+    index: Optional[ImplicationIndex] = None,
+    pool: Optional[SharedWorkerPool] = None,
 ) -> np.ndarray:
-    """Sparse backward fixpoint of the pair-implication pruning filter.
+    """One-shot form of :class:`DoomedPairEngine` (sorted doomed keys).
 
-    Merging blocks ``(a, b)`` of a closed partition forces merging
-    ``(δ(a, e), δ(b, e))`` for every event ``e``; a merge candidate is
-    *doomed* when some chain of those implications reaches a weakest
-    edge.  The dense engine materialises this as a boolean ``(B, B)``
-    fixpoint; here the doomed set is kept as sorted canonical pair keys
-    ``a * B + b`` (``a < b``) and grown backwards — each round expands
-    only the *newly* doomed frontier through the per-event preimage
-    adjacency (CSR over ``argsort``), so work and memory follow the
-    sparse implication structure rather than the pair space.
-
-    Stopping early (round limit or ``budget`` on expanded predecessor
-    pairs) is sound: every returned key provably dooms its candidate, so
-    a truncated fixpoint only prunes less.  Returns the sorted key array.
+    Builds (or reuses, via ``index``) the :class:`ImplicationIndex` of
+    ``quotient`` and runs the fixpoint once, without the cross-level
+    seeding — the stateless entry point tests and ad-hoc callers use.
+    Stopping early (round limit or ``budget`` on expansion work) is
+    sound: every returned key provably dooms its candidate, so a
+    truncated fixpoint only prunes less.
     """
-    weak_lo = np.minimum(weak_a, weak_b).astype(np.int64)
-    weak_hi = np.maximum(weak_a, weak_b).astype(np.int64)
-    doomed = np.unique(weak_lo * num_blocks + weak_hi)
-    if quotient.size == 0 or doomed.size == 0:
-        return doomed
-
-    num_events = quotient.shape[1]
-    # Per-event preimage adjacency in CSR form.
-    event_order: List[np.ndarray] = []
-    event_counts: List[np.ndarray] = []
-    event_indptr: List[np.ndarray] = []
-    for event in range(num_events):
-        image = quotient[:, event]
-        event_order.append(np.argsort(image, kind="stable").astype(np.int64))
-        counts = np.bincount(image, minlength=num_blocks).astype(np.int64)
-        event_counts.append(counts)
-        event_indptr.append(np.concatenate(([0], np.cumsum(counts))))
-
-    frontier = doomed
-    spent = 0
-    for _ in range(max_rounds):
-        if frontier.size == 0:
-            break
-        upper = frontier // num_blocks
-        lower = frontier % num_blocks
-        new_parts: List[np.ndarray] = []
-        for event in range(num_events):
-            counts = event_counts[event]
-            count_u = counts[upper]
-            count_v = counts[lower]
-            totals = count_u * count_v
-            grand = int(totals.sum())
-            if grand == 0:
-                continue
-            spent += grand
-            if spent > budget:
-                return doomed  # sound early stop
-            order = event_order[event]
-            indptr = event_indptr[event]
-            key_of_out = np.repeat(np.arange(frontier.size, dtype=np.int64), totals)
-            offsets = np.arange(grand, dtype=np.int64) - np.repeat(
-                np.concatenate(([0], np.cumsum(totals)[:-1])), totals
-            )
-            nv = count_v[key_of_out]
-            pre_u = order[indptr[upper[key_of_out]] + offsets // nv]
-            pre_v = order[indptr[lower[key_of_out]] + offsets % nv]
-            lo = np.minimum(pre_u, pre_v)
-            hi = np.maximum(pre_u, pre_v)
-            distinct = lo != hi
-            new_parts.append(lo[distinct] * num_blocks + hi[distinct])
-        if not new_parts:
-            break
-        candidates = np.unique(np.concatenate(new_parts))
-        fresh = candidates[~_sorted_contains(doomed, candidates)]
-        if fresh.size == 0:
-            break
-        doomed = np.union1d(doomed, fresh)
-        frontier = fresh
-    return doomed
+    engine = DoomedPairEngine(pool=pool, budget=budget, max_rounds=max_rounds)
+    return engine.prune(quotient, weak_a, weak_b, num_blocks, index=index)
 
 
 def _sorted_contains(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
     """Boolean membership of ``queries`` in the sorted unique ``sorted_keys``."""
+    if sorted_keys.size == 0:
+        return np.zeros(queries.size, dtype=bool)
     positions = np.searchsorted(sorted_keys, queries, side="left")
     positions = np.minimum(positions, sorted_keys.size - 1)
     return sorted_keys[positions] == queries

@@ -25,6 +25,7 @@ class Stopwatch:
 
     _totals: Dict[str, float] = field(default_factory=dict)
     _counts: Dict[str, int] = field(default_factory=dict)
+    _extras: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
@@ -56,16 +57,47 @@ class Stopwatch:
         self._totals[name] = self._totals.get(name, 0.0) + float(seconds)
         self._counts[name] = self._counts.get(name, 0) + 1
 
+    def accumulate(self, name: str, **fields: int) -> None:
+        """Sum integer metadata counters into the named bucket.
+
+        Stages can carry structured outcomes besides wall-clock — the
+        ``prune`` stage records fixpoint rounds, budget units spent and
+        truncation events this way.  Each keyword is summed across calls
+        and merged into the stage's :meth:`as_dict` entry.
+
+        >>> watch = Stopwatch()
+        >>> watch.accumulate("prune", rounds=2, truncated=0)
+        >>> watch.accumulate("prune", rounds=1, truncated=1)
+        >>> watch.as_dict()["prune"]["rounds"], watch.as_dict()["prune"]["truncated"]
+        (3, 1)
+        """
+        extras = self._extras.setdefault(name, {})
+        for key, value in fields.items():
+            extras[key] = extras.get(key, 0) + int(value)
+
+    def extras(self, name: str) -> Dict[str, int]:
+        """The accumulated metadata counters of the named bucket."""
+        return dict(self._extras.get(name, {}))
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """Machine-readable snapshot: ``{name: {"seconds", "count"}}``.
+        """Machine-readable snapshot: ``{name: {"seconds", "count", ...}}``.
 
         This is the per-stage format ``BENCH_perf.json`` stores, so
-        benchmark trajectories stay diffable across PRs.
+        benchmark trajectories stay diffable across PRs.  Metadata
+        counters folded in with :meth:`accumulate` are merged into their
+        stage's entry.
         """
-        return {
-            name: {"seconds": self._totals[name], "count": self._counts.get(name, 0)}
-            for name in self._totals
-        }
+        names = list(self._totals)
+        names.extend(name for name in self._extras if name not in self._totals)
+        snapshot: Dict[str, Dict[str, float]] = {}
+        for name in names:
+            entry: Dict[str, float] = {
+                "seconds": self._totals.get(name, 0.0),
+                "count": self._counts.get(name, 0),
+            }
+            entry.update(self._extras.get(name, {}))
+            snapshot[name] = entry
+        return snapshot
 
 
 @contextmanager

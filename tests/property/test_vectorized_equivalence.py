@@ -211,7 +211,7 @@ class TestDoomedPairsSoundness:
         )
         weak_a = np.asarray([p[0] for p in chosen], dtype=np.int64)
         weak_b = np.asarray([p[1] for p in chosen], dtype=np.int64)
-        doomed = _doomed_pairs(quotient, weak_a, weak_b, n)
+        doomed, _stats = _doomed_pairs(quotient, weak_a, weak_b, n)
         for a in range(n):
             for b in range(a + 1, n):
                 seed = np.arange(n, dtype=np.int64)
@@ -317,7 +317,7 @@ class TestSparsePrimitives:
         )
         weak_a = np.asarray([p[0] for p in chosen], dtype=np.int64)
         weak_b = np.asarray([p[1] for p in chosen], dtype=np.int64)
-        dense = _doomed_pairs(quotient, weak_a, weak_b, n)
+        dense, _stats = _doomed_pairs(quotient, weak_a, weak_b, n)
         dense_keys = sorted(
             i * n + j for i in range(n) for j in range(i + 1, n) if dense[i, j]
         )

@@ -1,0 +1,58 @@
+"""Schema check for the committed ``BENCH_perf.json`` trajectory.
+
+The perf harness (``benchmarks/bench_perf_regression.py``) validates the
+payload it *writes*; this test validates the file actually committed at
+the repository root, so a stale or hand-edited trajectory fails tier-1
+CI.  The load-bearing part is the ``prune_stats`` block: every case must
+carry the doomed-pair fixpoint's structural outcome (rounds, budget
+spend, cross-level seeding and — above all — the truncation count), so
+silent under-pruning can never hide in the timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+PRUNE_STATS_FIELDS = (
+    "calls", "rounds", "forward_rounds", "spent", "truncated", "seeded",
+)
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BENCH_PATH = os.path.join(_ROOT, "BENCH_perf.json")
+
+
+def _payload():
+    with open(BENCH_PATH) as handle:
+        return json.load(handle)
+
+
+def test_bench_schema_version():
+    assert _payload()["schema"] == "repro-bench-perf/2"
+
+
+def test_every_case_carries_prune_stats():
+    cases = _payload()["cases"]
+    assert cases, "BENCH_perf.json has no cases"
+    for name, record in cases.items():
+        stats = record.get("prune_stats")
+        assert stats is not None, "%s is missing prune_stats" % name
+        assert sorted(stats) == sorted(PRUNE_STATS_FIELDS), name
+        for field in PRUNE_STATS_FIELDS:
+            assert isinstance(stats[field], int), (name, field)
+        # Structural sanity: a case that pruned spent work doing so, and
+        # cases that never pruned report all-zero stats.
+        if stats["calls"] == 0:
+            assert stats["rounds"] == 0 and stats["spent"] == 0
+        else:
+            assert stats["spent"] > 0
+
+
+def test_flagship_mix_case_is_recorded_untruncated():
+    """The PR-4 flagship must be present, inside the guard, not truncated."""
+    record = _payload()["cases"]["mesi+counters-9 (top=78732)"]
+    assert record["summary"]["top_size"] == 78732
+    assert record["seconds"] < 60.0
+    assert record["engine"] == "sparse"
+    assert record["prune_stats"]["truncated"] == 0
+    assert record["prune_stats"]["seeded"] > 0

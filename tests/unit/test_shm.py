@@ -17,7 +17,13 @@ import numpy as np
 import pytest
 
 from repro.core.exceptions import FusionError
-from repro.core.shm import SharedArrayBundle, SharedWorkerPool, resolve_workers
+from repro.core.shm import (
+    SharedArrayBundle,
+    SharedScratch,
+    SharedWorkerPool,
+    attached_arrays,
+    resolve_workers,
+)
 
 
 def _segment_exists(name: str) -> bool:
@@ -144,6 +150,41 @@ class TestSharedWorkerPool:
         """The lazily-spawned executor really runs tasks."""
         with SharedWorkerPool(2) as pool:
             assert pool.submit(sum, (1, 2, 3)).result() == 6
+
+
+class TestSharedScratch:
+    def test_write_read_and_grow_in_place(self):
+        with SharedWorkerPool(2) as pool:
+            scratch = SharedScratch(pool)
+            meta, length = scratch.write(np.arange(4, dtype=np.int64))
+            first_name = meta["segment"]
+            assert length == 4
+            assert attached_arrays(meta)["data"][:length].tolist() == [0, 1, 2, 3]
+            # A smaller payload reuses the same segment...
+            meta2, length2 = scratch.write(np.array([7], dtype=np.int64))
+            assert meta2["segment"] == first_name and length2 == 1
+            # ...while outgrowing the capacity recreates it with headroom.
+            meta3, length3 = scratch.write(np.arange(100, dtype=np.int64))
+            assert meta3["segment"] != first_name
+            assert length3 == 100 and scratch.capacity >= 100
+            scratch.close()
+
+    def test_first_write_may_be_empty(self):
+        with SharedWorkerPool(2) as pool:
+            scratch = SharedScratch(pool)
+            meta, length = scratch.write(np.empty(0, dtype=np.int64))
+            assert length == 0
+            assert attached_arrays(meta)["data"][:length].size == 0
+            scratch.close()
+
+    def test_close_unlinks_backing_segment(self):
+        with SharedWorkerPool(2) as pool:
+            scratch = SharedScratch(pool)
+            meta, _length = scratch.write(np.arange(3, dtype=np.int64))
+            assert _segment_exists(meta["segment"])
+            scratch.close()
+            assert not _segment_exists(meta["segment"])
+            scratch.close()  # idempotent
 
 
 class TestResolveWorkersReExport:

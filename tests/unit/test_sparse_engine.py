@@ -21,7 +21,9 @@ from repro.core.fusion import generate_fusion, resolve_workers
 from repro.core.partition import Partition
 from repro.core.sparse import (
     CandidateBudgetError,
+    DoomedPairEngine,
     PairLedger,
+    doomed_pair_keys,
     iter_pair_chunks,
     low_weight_pairs,
 )
@@ -81,6 +83,69 @@ class TestPairLedger:
         parts = [Partition(np.zeros(64, dtype=np.int64))]  # one 64-state block
         with pytest.raises(CandidateBudgetError):
             low_weight_pairs(parts, 64, cap=1, budget=10)
+
+
+# ----------------------------------------------------------------------
+# DoomedPairEngine truncation reporting
+# ----------------------------------------------------------------------
+class TestPruneStatsReporting:
+    QUOTIENT = np.array([[1], [2], [2]])  # 0 -> 1 -> 2 -> 2 under one event
+    WEAK = (np.array([1]), np.array([2]))
+
+    def test_converged_run_reports_rounds_and_keys(self):
+        engine = DoomedPairEngine()
+        keys = engine.prune(self.QUOTIENT, *self.WEAK, 3)
+        assert keys.tolist() == [1, 2, 5]  # (0,1), (0,2) and the seed (1,2)
+        stats = engine.last_stats
+        assert stats.rounds == 1 and not stats.truncated
+        assert stats.keys == 3 and stats.spent == 2
+
+    def test_budget_stop_sets_truncated_flag(self):
+        engine = DoomedPairEngine(budget=1)
+        keys = engine.prune(self.QUOTIENT, *self.WEAK, 3)
+        assert keys.tolist() == [5]  # only the seed: the round was refused
+        assert engine.last_stats.truncated
+        assert engine.last_stats.spent == 2  # the tripping grand is charged
+
+    def test_round_stop_sets_truncated_flag(self):
+        # max_rounds=0 refuses even the first expansion round.
+        engine = DoomedPairEngine(max_rounds=0)
+        keys = engine.prune(self.QUOTIENT, *self.WEAK, 3)
+        assert keys.tolist() == [5]
+        assert engine.last_stats.truncated
+        assert engine.last_stats.rounds == 0
+
+    def test_refused_forward_round_charges_spent(self, monkeypatch):
+        import repro.core.sparse as sparse_module
+
+        # Force the forward direction, with a budget the sweep exceeds:
+        # the refused round must be charged (symmetric with backward).
+        monkeypatch.setattr(sparse_module, "_FORWARD_SWITCH_FACTOR", 0)
+        engine = DoomedPairEngine(budget=0)
+        keys = engine.prune(self.QUOTIENT, *self.WEAK, 3)
+        assert keys.tolist() == [5]
+        assert engine.last_stats.truncated
+        assert engine.last_stats.spent == 2  # live pairs (0,1), (0,2) x 1 event
+
+    def test_stopwatch_prune_stage_carries_stats(self, forced_sparse):
+        from repro.utils.timing import Stopwatch
+
+        from repro.machines import mesi, shift_register
+
+        machines = [
+            mesi(),
+            mod_counter(3, "local_read", events=mesi().events, name="rd-ctr"),
+            shift_register(
+                3, bit_events=("local_read", "local_write"), events=mesi().events, name="sr"
+            ),
+        ]
+        watch = Stopwatch()
+        generate_fusion(machines, f=1, stopwatch=watch)
+        prune = watch.as_dict()["prune"]
+        for field in ("rounds", "forward_rounds", "spent", "truncated", "seeded"):
+            assert field in prune
+        assert prune["rounds"] >= 1
+        assert prune["truncated"] == 0
 
 
 # ----------------------------------------------------------------------
