@@ -43,11 +43,22 @@ fixpoint on the reference container (up to ~40 s of ~68 s under load)
 and was left out of the suite to respect the 60 s guard.
 
 Besides the per-stage seconds, every case carries a ``prune_stats``
-block (schema ``repro-bench-perf/2``): fixpoint rounds (backward and
-forward), budget units spent, keys seeded from cross-level reuse, and —
-crucially — the ``truncated`` count, so silent under-pruning from the
-``budget``/``max_rounds`` early stop is visible in the trajectory
-instead of masquerading as a slow ``closure`` stage.
+block: fixpoint rounds (backward and forward), budget units spent, keys
+seeded from cross-level reuse, and — crucially — the ``truncated``
+count, so silent under-pruning from the ``budget``/``max_rounds`` early
+stop is visible in the trajectory instead of masquerading as a slow
+``closure`` stage.
+
+Schema ``repro-bench-perf/3`` (PR 5) additionally records
+``exclusive_seconds`` per stage: ``prune`` and ``closure`` nest inside
+``descent``, so inclusive per-stage seconds deliberately overlap;
+the exclusive figures subtract nested measurements and therefore *add
+up*, which is what the stage-attribution claims in ``docs/performance.md``
+are based on.  ``stage_entries_are_consistent`` pins the invariant in
+``--check`` and in tier-1 (``tests/unit/test_bench_schema.py``).
+``mesi+counters-10 (top=236196)`` — the narrow-key flagship, whose
+cap-3 ledger build alone previously blew the 60 s guard — enters the
+suite with PR 5.
 """
 
 from __future__ import annotations
@@ -118,6 +129,7 @@ PRE_PR_BASELINE_SECONDS: Dict[str, float] = {
     "counters-10 (top=59049)": None,
     "mesi+counters-8 (top=26244)": None,
     "mesi+counters-9 (top=78732)": None,
+    "mesi+counters-10 (top=236196)": None,
 }
 
 #: First wall-clock ever recorded per sparse-engine case on the
@@ -136,6 +148,13 @@ FIRST_RECORDED_SECONDS: Dict[str, float] = {
     # in prune) and was kept out of the suite; the incremental engine's
     # introduction figure pins it here (speedup 1.0 by definition).
     "mesi+counters-9 (top=78732)": 22.802,
+    # PR 5 (narrow keys + disjoint shift-packed leaves + parallel merge
+    # tree): under PR 4's engine the case sat far outside the guard —
+    # its cap-3 pigeonhole merge alone sorted ~90M duplicate-laden
+    # int64 keys; the disjoint leaves cut that to 31M distinct packed
+    # int32/int64 entries and the case enters here (speedup 1.0 by
+    # definition).
+    "mesi+counters-10 (top=236196)": 46.3655,
 }
 
 #: Semantic outputs every engine change must preserve exactly.
@@ -187,6 +206,12 @@ EXPECTED_SUMMARIES: Dict[str, Dict[str, object]] = {
         "num_backups": 1, "backup_sizes": [12], "fusion_state_space": 12,
         "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
     },
+    "mesi+counters-10 (top=236196)": {
+        "originals": ["MESI"] + ["c%d" % e for e in range(10)], "f": 1,
+        "top_size": 236196,
+        "num_backups": 1, "backup_sizes": [12], "fusion_state_space": 12,
+        "initial_dmin": 1, "final_dmin": 2, "byzantine_faults_tolerated": 0,
+    },
 }
 
 
@@ -199,13 +224,40 @@ CASES["counters-9 (top=19683)"] = lambda: _counters_family(9)
 CASES["counters-10 (top=59049)"] = lambda: _counters_family(10)
 CASES["mesi+counters-8 (top=26244)"] = lambda: _mesi_counters_mix(8)
 CASES["mesi+counters-9 (top=78732)"] = lambda: _mesi_counters_mix(9)
+CASES["mesi+counters-10 (top=236196)"] = lambda: _mesi_counters_mix(10)
 
 #: Fields every case's ``prune_stats`` block must carry (schema
-#: ``repro-bench-perf/2``; checked by ``--check`` and by
+#: ``repro-bench-perf/3``; checked by ``--check`` and by
 #: ``tests/unit/test_bench_schema.py`` against the committed file).
 PRUNE_STATS_FIELDS = (
     "calls", "rounds", "forward_rounds", "spent", "truncated", "seeded",
 )
+
+
+def stage_entries_are_consistent(stages: Dict[str, Dict[str, float]]) -> bool:
+    """Schema-v3 stage invariants: every entry carries both clocks.
+
+    Each stage must report ``exclusive_seconds`` with
+    ``0 <= exclusive_seconds <= seconds`` (up to float tolerance), and a
+    nested pair like ``prune``/``closure`` inside ``descent`` must
+    account exactly: the parent's inclusive time is its exclusive time
+    plus the children's inclusive times.
+    """
+    for entry in stages.values():
+        exclusive = entry.get("exclusive_seconds")
+        if exclusive is None:
+            return False
+        if not -1e-6 <= exclusive <= entry["seconds"] + 1e-6:
+            return False
+    if "descent" in stages:
+        nested = sum(
+            stages[name]["seconds"] for name in ("prune", "closure")
+            if name in stages
+        )
+        descent = stages["descent"]
+        if abs(descent["seconds"] - descent["exclusive_seconds"] - nested) > 1e-3:
+            return False
+    return True
 
 #: Generous absolute wall-clock guards (seconds) for CI runners of
 #: unknown speed.  The real trajectory lives in BENCH_perf.json.
@@ -228,6 +280,9 @@ WALL_CLOCK_GUARDS: Dict[str, float] = {
     # under load); the parallel/incremental prune halved the fixpoint
     # and brought the case comfortably inside the guard.
     "mesi+counters-9 (top=78732)": 60.0,
+    # The narrow-key flagship: infeasible before PR 5 (the cap-3 ledger
+    # merge alone blew the guard), now ~40 s on the reference container.
+    "mesi+counters-10 (top=236196)": 60.0,
 }
 
 
@@ -295,12 +350,13 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
     _warm_up()
     cases = {name: run_case(name, rounds=rounds) for name in CASES}
     return {
-        "schema": "repro-bench-perf/2",
+        "schema": "repro-bench-perf/3",
         "note": (
             "Wall-clock seconds per Algorithm-2 workload with per-stage "
-            "breakdown and doomed-pair prune_stats (rounds/spent/truncated/"
-            "seeded). pre_pr_seconds pins the seed-commit engine on the "
-            "reference container; regenerate with "
+            "breakdown (inclusive seconds plus nesting-corrected "
+            "exclusive_seconds) and doomed-pair prune_stats (rounds/spent/"
+            "truncated/seeded). pre_pr_seconds pins the seed-commit engine "
+            "on the reference container; regenerate with "
             "PYTHONPATH=src python benchmarks/bench_perf_regression.py"
         ),
         "cases": cases,
@@ -395,6 +451,39 @@ def test_mesi_counters9_parallel_prune_within_runtime_bound():
     assert prune["truncated"] == 0
 
 
+def test_mesi_counters10_narrow_key_within_runtime_bound():
+    """The top=236196 narrow-key flagship: the largest case in the suite.
+
+    Infeasible before PR 5: the cap-3 pigeonhole ledger alone merged
+    ~90M duplicate-laden int64 keys (the build blew the 60 s guard by
+    itself).  The disjoint exclusion-masked leaves cut the merge input
+    to ~31M distinct entries, shift-packed narrow keys halve the bytes
+    every sort and membership pass moves, and the case now clears the
+    runtime-study bound with margin.  Run with
+    ``REPRO_FUSION_WORKERS=2`` (the CI parallel smoke does) to exercise
+    the pooled ledger/merge-tree/exploration paths; results are
+    byte-identical to the serial run.
+    """
+    name = "mesi+counters-10 (top=236196)"
+    machines = CASES[name]()
+    watch = Stopwatch()
+    start = time.perf_counter()
+    result = generate_fusion(machines, f=1, stopwatch=watch)
+    elapsed = time.perf_counter() - start
+    assert result.summary() == EXPECTED_SUMMARIES[name]
+    assert elapsed < 60.0
+    assert result.graph.is_sparse
+    stages = watch.as_dict()
+    assert stage_entries_are_consistent(stages)
+    prune = stages["prune"]
+    assert prune["seeded"] > 0
+    # The top level deliberately truncates: converging it costs ~65 s of
+    # expansion to save ~1.5 s of exact closure checks (see
+    # fusion._PRUNE_BUDGET).  The trade must stay *visible* — exactly one
+    # budgeted stop, reported — not silent or creeping.
+    assert prune["truncated"] <= 1
+
+
 def test_counters10_recursive_join_within_runtime_bound():
     """The top=59049 flagship of the recursive-join engine, 60 s bound.
 
@@ -441,6 +530,7 @@ def main(argv: Sequence[str]) -> int:
             if record["summary"] != EXPECTED_SUMMARIES[name]
             or record["seconds"] >= WALL_CLOCK_GUARDS[name]
             or sorted(record.get("prune_stats", {})) != sorted(PRUNE_STATS_FIELDS)
+            or not stage_entries_are_consistent(record["stages"])
         ]
         if failures:
             print("FAILED cases: %s" % ", ".join(failures))

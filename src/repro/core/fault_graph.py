@@ -53,7 +53,7 @@ from .partition import Partition, partition_from_machine
 from .product import CrossProduct
 from .shm import SharedWorkerPool
 from .sparse import LedgerBuilder, PairLedger, condensed_indices
-from .types import StateLabel
+from .types import StateLabel, narrow_key_dtype
 
 __all__ = [
     "DENSE_EXPORT_LIMIT",
@@ -596,11 +596,14 @@ class FaultGraph:
         level the quotient's block ids *are* the top-state ids, so this
         array seeds the level-0 doomed set directly, with no per-descent
         re-projection.  Both engines emit the weakest edges in condensed
-        order, so the keys come back sorted and unique (cached).
+        order, so the keys come back sorted and unique (cached), in the
+        narrow key dtype of the state count
+        (:func:`repro.core.types.narrow_key_dtype`).
         """
         if self._weak_keys is None:
             rows, cols = self.weakest_edge_arrays()
-            keys = rows.astype(np.int64) * self._n + cols.astype(np.int64)
+            key_dtype = narrow_key_dtype(self._n)
+            keys = rows.astype(key_dtype) * self._n + cols.astype(key_dtype)
             keys.setflags(write=False)
             self._weak_keys = keys
         return self._weak_keys

@@ -203,11 +203,22 @@ def _cleanup_segment(segment: shared_memory.SharedMemory, owner: bool) -> None:
 # ----------------------------------------------------------------------
 # Worker-side attach cache
 # ----------------------------------------------------------------------
-#: Per-process cache of attached bundles, keyed by segment name.  Small:
-#: a worker touches the ledger label matrix plus the current descent's
-#: bundle; older descents' segments are evicted (and unmapped) FIFO.
+#: Per-process LRU cache of attached bundles, keyed by segment name.
+#: Small: a worker touches the ledger label matrix plus the current
+#: descent's bundles; older segments are evicted least-recently-used.
+#:
+#: CRITICAL: eviction must NOT close (unmap) the bundle immediately.  A
+#: task that has already taken NumPy views of one bundle (say, the
+#: published transition columns) and then attaches another (the
+#: frontier scratch) can trigger an eviction of the first *mid-task*;
+#: unmapping succeeds despite the live views, the OS reuses the address
+#: range for the next mapping, and the stale views silently read the
+#: wrong segment's bytes.  Evicted bundles therefore go to a
+#: pending-close list that the pool's task shell drains only *between*
+#: tasks, when no task-local views can exist.
 _ATTACH_CACHE: Dict[str, SharedArrayBundle] = {}
-_ATTACH_CACHE_LIMIT = 4
+_ATTACH_CACHE_LIMIT = 8
+_PENDING_CLOSE: List[SharedArrayBundle] = []
 
 
 def attached_arrays(meta: Dict[str, object]) -> Dict[str, np.ndarray]:
@@ -220,14 +231,32 @@ def attached_arrays(meta: Dict[str, object]) -> Dict[str, np.ndarray]:
     bundle = _ATTACH_CACHE.get(name)
     if bundle is None or bundle.closed:
         while len(_ATTACH_CACHE) >= _ATTACH_CACHE_LIMIT:
-            _ATTACH_CACHE.pop(next(iter(_ATTACH_CACHE))).close()
+            # Deferred: closed by _drain_pending_closes between tasks.
+            _PENDING_CLOSE.append(_ATTACH_CACHE.pop(next(iter(_ATTACH_CACHE))))
         bundle = SharedArrayBundle.attach(meta)
-        _ATTACH_CACHE[name] = bundle
+    else:
+        del _ATTACH_CACHE[name]  # re-insert: LRU order, hot bundles stay
+    _ATTACH_CACHE[name] = bundle
     return bundle.arrays
+
+
+def _drain_pending_closes() -> None:
+    """Unmap bundles evicted during previous tasks (task-boundary only)."""
+    while _PENDING_CLOSE:
+        _PENDING_CLOSE.pop().close()
+
+
+def _task_shell(fn: Callable, *args):
+    """Run one pool task; drains deferred unmaps first, when it is safe
+    (no live task-local views of evicted segments can exist between
+    tasks — results are pickled before the next task starts)."""
+    _drain_pending_closes()
+    return fn(*args)
 
 
 @atexit.register
 def _drain_attach_cache() -> None:  # pragma: no cover - interpreter teardown
+    _drain_pending_closes()
     for bundle in list(_ATTACH_CACHE.values()):
         bundle.close()
     _ATTACH_CACHE.clear()
@@ -293,7 +322,9 @@ class SharedWorkerPool:
             raise FusionError("cannot submit to a closed SharedWorkerPool")
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self._max_workers)
-        return self._executor.submit(fn, *args)
+        # _task_shell drains the attach cache's deferred unmaps at the
+        # task boundary — never mid-task, where live views would dangle.
+        return self._executor.submit(_task_shell, fn, *args)
 
     def close(self) -> None:
         """Shut the executor down and unlink every live bundle."""
@@ -356,8 +387,19 @@ class SharedScratch:
         Workers slice the payload back out as
         ``attached_arrays(meta)["data"][:length]``.  May only be called
         with no tasks reading the previous payload in flight.
+
+        The scratch adapts to the payload's dtype: a write whose dtype
+        differs from the current segment's (the narrow-key engine's
+        levels switch between int32 and int64 keys as block counts cross
+        the threshold) recreates the segment, exactly like outgrowing
+        the capacity does.
         """
-        array = np.ascontiguousarray(array, dtype=self._dtype)
+        array = np.ascontiguousarray(array)
+        if array.dtype != self._dtype:
+            self._dtype = array.dtype
+            if self._bundle is not None:
+                self._pool.retire(self._bundle)
+                self._bundle = None
         if array.size > self.capacity or self._bundle is None or self._bundle.closed:
             if self._bundle is not None:
                 self._pool.retire(self._bundle)

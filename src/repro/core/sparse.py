@@ -52,8 +52,26 @@ when they need more, and the doomed-pair set is a *sound* filter by
 construction, so an early (budgeted) stop can only make pruning less
 complete, never wrong.  Serial and parallel builds are byte-identical:
 the leaf tasks are planned identically, executed in the same order, and
-merged through one ``np.unique`` whose output is order-insensitive (a
-pair's exact weight is the same from every leaf that finds it).
+merged into one sorted duplicate-free key array whose contents are
+order-insensitive (a pair's exact weight is the same from every leaf
+that finds it), whether the owner folds the parts serially or a
+pairwise merge tree shards the folding over the worker pool
+(:func:`_pool_merge_tree`).
+
+Two cross-cutting implementation rules, established by measurement:
+
+* **Narrow keys.**  Every pair-key array (ledger merges, doomed sets,
+  frontiers, shared scratch payloads) is built in the per-level dtype of
+  :func:`repro.core.types.narrow_key_dtype` — ``int32`` whenever the
+  level's block count is below 46341, ``int64`` above — so the sorts,
+  merges and membership passes that dominate the large benchmarks move
+  half the bytes on every level below the threshold.
+* **No ``np.unique``, no boolean fancy indexing on hot paths.**  Key
+  arrays are deduplicated with an explicit sort + neighbour-diff mask +
+  ``np.compress`` (:func:`_sort_unique`): ``np.unique``'s hash-based
+  integer path and large boolean fancy indexing are both dramatically
+  slower than sort + compress on the containers this runs on (50x on
+  the 90M-key ledger merge of ``mesi+counters-10``).
 """
 
 from __future__ import annotations
@@ -67,7 +85,7 @@ import numpy as np
 from .exceptions import PartitionError
 from .partition import Partition, _canonicalise, _first_of_each_block
 from .shm import SharedScratch, SharedWorkerPool, attached_arrays
-from .types import narrow_index_dtype
+from .types import narrow_index_dtype, narrow_key_dtype
 
 __all__ = [
     "CandidateBudgetError",
@@ -129,6 +147,94 @@ def condensed_indices(num_states: int) -> Tuple[np.ndarray, np.ndarray]:
     return cached
 
 
+def _pair_keys(
+    lo: np.ndarray, hi: np.ndarray, num_blocks: int, key_dtype: type
+) -> np.ndarray:
+    """Canonical pair keys ``lo * num_blocks + hi`` built in ``key_dtype``.
+
+    The explicit pre-multiply ``astype`` is the narrow-key path: with
+    ``key_dtype == int32`` (every level below the
+    :func:`repro.core.types.narrow_key_dtype` threshold) the multiply
+    runs — and the result ships — in 4-byte lanes; NumPy's default
+    promotion would silently compute int64 everywhere.  Safe by the
+    dtype rule: ``lo < hi < num_blocks`` so every key is below
+    ``num_blocks**2``, which fits ``key_dtype`` by construction.
+    """
+    if lo.dtype != key_dtype:
+        lo = lo.astype(key_dtype)
+    if hi.dtype != key_dtype:
+        hi = hi.astype(key_dtype)
+    return lo * num_blocks + hi
+
+
+def _dedup_sorted(sorted_keys: np.ndarray) -> np.ndarray:
+    """Unique elements of an already-sorted array (neighbour-diff mask).
+
+    ``np.compress`` instead of boolean fancy indexing: on the reference
+    containers the latter is several times slower at the tens-of-millions
+    scale of the ledger merges.
+    """
+    if sorted_keys.size == 0:
+        return sorted_keys
+    mask = np.empty(sorted_keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=mask[1:])
+    return np.compress(mask, sorted_keys)
+
+
+def _sort_unique(keys: np.ndarray) -> np.ndarray:
+    """Sorted unique elements of ``keys`` — the hot-path ``np.unique``.
+
+    One explicit ``np.sort`` plus :func:`_dedup_sorted`: ``np.unique``'s
+    hash-based integer path degrades catastrophically on large random
+    key sets (measured ~50x slower than sort + compress at 30M keys), so
+    nothing in this module calls it on key arrays.
+    """
+    if keys.size == 0:
+        return keys
+    return _dedup_sorted(np.sort(keys))
+
+
+def _compress_absent(sorted_ref: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """The elements of ``keys`` not contained in the sorted ``sorted_ref``."""
+    if sorted_ref.size == 0 or keys.size == 0:
+        return keys
+    mask = _sorted_contains(sorted_ref, keys)
+    np.logical_not(mask, out=mask)
+    return np.compress(mask, keys)
+
+
+def _pair_chunk_iter(
+    row_lo: int, row_hi: int, num_items: int, chunk_size: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """``(rows, cols)`` chunks of pairs ``i < j``, ``row_lo <= i < row_hi``.
+
+    The shared, fully vectorised enumerator behind
+    :func:`iter_pair_chunks` and :func:`_row_pair_chunks` (which were
+    per-row Python append loops until PR 5): each chunk decodes its
+    linear pair offsets into ``(row, col)`` with one ``searchsorted``
+    against the per-row cumulative pair counts.  Chunks come back in
+    condensed (lexicographic) order, sized exactly ``chunk_size`` until
+    the final remainder — the same boundaries as the old loop — in the
+    narrow index dtype of ``num_items``.
+    """
+    row_hi = min(row_hi, num_items - 1)
+    if num_items < 2 or row_lo >= row_hi:
+        return
+    counts = np.arange(
+        num_items - 1 - row_lo, num_items - 1 - row_hi, -1, dtype=np.int64
+    )
+    cums = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+    total = int(cums[-1])
+    index_dtype = narrow_index_dtype(num_items)
+    for start in range(0, total, chunk_size):
+        linear = np.arange(start, min(start + chunk_size, total), dtype=np.int64)
+        row_idx = np.searchsorted(cums, linear, side="right") - 1
+        rows = (row_lo + row_idx).astype(index_dtype)
+        cols = (rows + 1 + (linear - cums[row_idx])).astype(index_dtype)
+        yield rows, cols
+
+
 def iter_pair_chunks(
     num_items: int, chunk_size: int = 16384
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
@@ -139,23 +245,7 @@ def iter_pair_chunks(
     iterate the chunks in sequence.  Peak memory is ``O(chunk_size)``
     instead of the ``O(n^2)`` of :func:`condensed_indices`.
     """
-    pending_rows: List[np.ndarray] = []
-    pending_cols: List[np.ndarray] = []
-    pending = 0
-    for row in range(num_items - 1):
-        cols = np.arange(row + 1, num_items, dtype=np.int64)
-        pending_rows.append(np.full(cols.size, row, dtype=np.int64))
-        pending_cols.append(cols)
-        pending += cols.size
-        while pending >= chunk_size:
-            rows_cat = np.concatenate(pending_rows)
-            cols_cat = np.concatenate(pending_cols)
-            yield rows_cat[:chunk_size], cols_cat[:chunk_size]
-            pending_rows = [rows_cat[chunk_size:]]
-            pending_cols = [cols_cat[chunk_size:]]
-            pending -= chunk_size
-    if pending:
-        yield np.concatenate(pending_rows), np.concatenate(pending_cols)
+    return _pair_chunk_iter(0, num_items, num_items, chunk_size)
 
 
 def join_labels(first: np.ndarray, second: np.ndarray) -> np.ndarray:
@@ -175,9 +265,15 @@ def coblock_pair_arrays(
     nothing proportional to the full pair space is touched.  With
     ``sort=False`` the pairs come back grouped by block instead of in
     condensed order (callers that re-sort anyway skip a full argsort).
+    Pairs come back in the narrow index dtype of the state count, so the
+    big candidate enumerations of the ledger leaves move 4-byte lanes
+    end to end instead of converting 8-byte gathers afterwards.
     """
     labels = np.asarray(labels, dtype=np.int64)
-    order = np.argsort(labels, kind="stable")  # members ascend within a block
+    index_dtype = narrow_index_dtype(labels.size)
+    # Narrow the member indices *before* the per-block gathers: every
+    # downstream array inherits the 4-byte dtype.
+    order = np.argsort(labels, kind="stable").astype(index_dtype)
     sorted_labels = labels[order]
     boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
     starts = np.concatenate(([0], boundaries))
@@ -193,13 +289,13 @@ def coblock_pair_arrays(
         rows_parts.append(members[local_rows])
         cols_parts.append(members[local_cols])
     if not rows_parts:
-        empty = np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=index_dtype)
         return empty, empty
     rows = np.concatenate(rows_parts)
     cols = np.concatenate(cols_parts)
     if not sort:
         return rows, cols
-    keys = rows * labels.size + cols
+    keys = _pair_keys(rows, cols, labels.size, narrow_key_dtype(labels.size))
     sorter = np.argsort(keys, kind="stable")
     return rows[sorter], cols[sorter]
 
@@ -223,7 +319,9 @@ _LEAF_PAIR_TARGET = 1 << 22
 #: state count does (always, in practice; the shared rule is
 #: :func:`repro.core.types.narrow_index_dtype`), and weights are bounded
 #: by the machine count.  Both halve the memory traffic of the candidate
-#: passes; the public API still returns ``int64`` arrays.
+#: passes.  Since PR 5 the narrow dtypes flow through to the public
+#: arrays too (``low_weight_pairs``/``PairLedger`` rows and cols are
+#: ``int32`` below the threshold) — weights stay ``int64`` there.
 _LEAF_WEIGHT_DTYPE = np.int16
 _index_dtype = narrow_index_dtype
 
@@ -239,37 +337,58 @@ def _plan_leaf_tasks(
     label_list: Sequence[np.ndarray],
     cap: int,
     budget: int,
-    leaf_target: int = _LEAF_PAIR_TARGET,
-) -> List[Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int]]:
+    leaf_target: Optional[int] = None,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int, Tuple[Tuple[int, ...], ...]]]:
     """Split the pigeonhole join into independent leaf tasks.
 
-    Each task is ``(context_ids, remaining_ids, joined, estimate)``:
-    candidates are the co-block pairs of ``joined`` — the join of the
-    *context* machines, computed here while sizing the node (the size,
-    ``estimate``, rides along for work gating) — and their exact
-    weights come from folding the *remaining* machines.  A pair
-    separated by fewer than ``cap`` machines agrees with every machine
-    of at least one of ``cap`` disjoint groups (pigeonhole); while a
-    group join's candidate estimate exceeds ``leaf_target`` and at least
-    ``cap`` machines remain unjoined, the same argument splits the
-    remainder again — the pair must also agree with one of ``cap``
+    Each task is ``(context_ids, remaining_ids, joined, estimate,
+    excluded_groups)``: candidates are the co-block pairs of ``joined``
+    — the join of the *context* machines, computed here while sizing
+    the node (the size, ``estimate``, rides along for work gating) —
+    and their exact weights come from folding the *remaining* machines.
+    A pair separated by fewer than ``cap`` machines agrees with every
+    machine of at least one of ``cap`` disjoint groups (pigeonhole);
+    while a group join's candidate estimate exceeds ``leaf_target`` and
+    at least ``cap`` machines remain unjoined, the same argument splits
+    the remainder again — the pair must also agree with one of ``cap``
     subgroups of the remaining machines — so blocks shrink geometrically
-    until enumeration is cheap.  Tasks are returned in deterministic
-    (depth-first, round-robin) order and are independent: they can run
-    serially (reusing ``joined``) or on a process pool (shipping only
-    the index tuples; workers replay the same join sequence, which is
-    deterministic) with identical results.
+    until enumeration is cheap.
+
+    ``excluded_groups`` makes the leaves *disjoint*: at every split, a
+    qualifying pair belongs to the first group it fully agrees with, so
+    each child carries its earlier siblings as exclusions and drops any
+    candidate with zero separations inside one of them (such a pair is
+    emitted — exactly once — under that earlier sibling instead).
+    Every pair below the cap is still found (pigeonhole gives it *some*
+    zero-separation group at every split, and the first one keeps it),
+    so the merged output set is exactly the PR 3 behaviour — but the
+    merge no longer sees each pair once per group that happens to
+    co-block it, which was a ~3x duplication factor (90M -> 31M keys)
+    on `mesi+counters-10`'s ledger build.
+
+    Tasks are returned in deterministic (depth-first, round-robin)
+    order and are independent: they can run serially (reusing
+    ``joined``) or on a process pool (shipping only the index tuples;
+    workers replay the same join sequence, which is deterministic) with
+    identical results.
 
     Raises :class:`CandidateBudgetError` when a leaf that can no longer
     be split (fewer than ``cap`` machines remain) still exceeds
     ``budget``.
     """
-    tasks: List[Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int]] = []
+    if leaf_target is None:
+        # Resolved at call time so tests can patch the module constant
+        # down and force deep recursion on small machines.
+        leaf_target = _LEAF_PAIR_TARGET
+    tasks: List[
+        Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray, int, Tuple[Tuple[int, ...], ...]]
+    ] = []
 
     def expand(
         context_ids: Tuple[int, ...],
         joined: Optional[np.ndarray],
         remaining_ids: Tuple[int, ...],
+        excluded: Tuple[Tuple[int, ...], ...],
     ) -> None:
         estimate = _coblock_pair_estimate(joined) if joined is not None else None
         if len(remaining_ids) >= cap and (estimate is None or estimate > leaf_target):
@@ -278,13 +397,16 @@ def _plan_leaf_tasks(
                 others = tuple(
                     mi for k, mi in enumerate(remaining_ids) if k % cap != group_index
                 )
+                earlier = tuple(
+                    remaining_ids[k::cap] for k in range(group_index)
+                )
                 sub_joined = joined
                 for machine_index in members:
                     labels = label_list[machine_index]
                     sub_joined = (
                         labels if sub_joined is None else join_labels(sub_joined, labels)
                     )
-                expand(context_ids + members, sub_joined, others)
+                expand(context_ids + members, sub_joined, others, excluded + earlier)
             return
         # A leaf always has a context: the top-level call (joined=None)
         # can split, because cap <= number of machines.
@@ -294,10 +416,38 @@ def _plan_leaf_tasks(
                 "(budget %d); the machine set is not sparse at cap=%d"
                 % (estimate, budget, cap)
             )
-        tasks.append((context_ids, remaining_ids, joined, estimate))
+        tasks.append((context_ids, remaining_ids, joined, estimate, excluded))
 
-    expand((), None, tuple(range(len(label_list))))
+    expand((), None, tuple(range(len(label_list))), ())
     return tasks
+
+
+def _weight_bits(cap: int) -> int:
+    """Bits reserved for a weight ``< cap`` in a packed ledger entry."""
+    return (cap - 1).bit_length()
+
+
+def _packed_dtype(num_states: int, cap: int) -> type:
+    """Dtype of packed ledger entries ``key << _weight_bits(cap) | weight``.
+
+    Exact weights ride *inside* the key (``weight < cap``, so the pack
+    is reversible), which is what lets the merge deduplicate with one
+    plain sort instead of ``np.unique(..., return_index=True)``'s
+    argsort: duplicate pairs carry identical weights, so duplicate
+    packs are identical values.  The weight field is a *power-of-two*
+    slot rather than a ``* cap`` mixed radix so unpacking is shifts and
+    masks — integer division by an arbitrary ``cap`` over a
+    tens-of-millions-entry merge was the single most expensive pass of
+    the big ledger builds.  Narrow (int32) whenever both the key dtype
+    rule and the packed bound ``num_states**2 << bits`` allow.
+    """
+    if (
+        narrow_key_dtype(num_states) == np.int32
+        and (num_states * num_states << _weight_bits(cap)) - 1
+        <= np.iinfo(np.int32).max
+    ):
+        return np.int32
+    return np.int64
 
 
 def _leaf_pairs(
@@ -307,7 +457,8 @@ def _leaf_pairs(
     context_ids: Sequence[int],
     remaining_ids: Sequence[int],
     joined: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    excluded: Sequence[Tuple[int, ...]] = (),
+) -> np.ndarray:
     """Run one planned leaf: enumerate, weigh, filter.
 
     Candidates agree with every context machine by construction, so only
@@ -315,65 +466,133 @@ def _leaf_pairs(
     one vectorised pass at a time, compressing away candidates as soon
     as they reach the cap (weights only ever grow): on sparse workloads
     the candidate set collapses after the first few machines, so later
-    passes touch a fraction of it.  Returns ``(keys, weights)`` of the
-    surviving pairs (keys are ``row * num_states + col``).
+    passes touch a fraction of it.  Returns the *packed* entries of the
+    surviving pairs — ``(row * num_states + col) << bits | weight`` in
+    :func:`_packed_dtype` — unsorted but duplicate-free (one join's
+    co-block pairs are distinct, and the ``excluded`` sibling groups of
+    the plan make even distinct leaves disjoint).
+
+    A pair with zero separations inside an ``excluded`` group belongs to
+    that (earlier) group's subtree and is dropped here.  The masks ride
+    the same per-machine separation passes the weights use: a machine in
+    an excluded group clears the group's zero-separation mask wherever
+    it separates the pair, and context members of an excluded group
+    never separate (candidates agree with the whole context), so a
+    group wholly inside the context excludes every candidate at once.
 
     ``joined`` short-circuits the context join when the caller (the
     planner, on the serial path) already holds it; pool workers pass
     ``None`` and replay the same deterministic join sequence instead of
     pickling the array.
     """
+    packed_dtype = _packed_dtype(num_states, cap)
+    empty = np.empty(0, dtype=packed_dtype)
+    context_set = frozenset(context_ids)
+    remaining_set = frozenset(remaining_ids)
+    # One machine can sit in several excluded groups (an ancestor
+    # split's group and a deeper split's subgroup of it), so each
+    # machine maps to *all* of its groups — dropping to one group would
+    # leave the others' masks uncleared and silently discard pairs.
+    groups_of_machine: Dict[int, List[int]] = {}
+    num_groups = 0
+    for group in excluded:
+        if not any(mi in remaining_set for mi in group):
+            # Every group member is in the context (candidates agree
+            # with all of them), so the whole leaf belongs to the
+            # earlier sibling's subtree.
+            assert all(mi in context_set for mi in group)
+            return empty
+        group_index = num_groups
+        num_groups += 1
+        for mi in group:
+            if mi in remaining_set:
+                groups_of_machine.setdefault(mi, []).append(group_index)
     if joined is None:
         for machine_index in context_ids:
             labels = label_list[machine_index]
             joined = labels if joined is None else join_labels(joined, labels)
     rows, cols = coblock_pair_arrays(joined, sort=False)
-    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=_LEAF_WEIGHT_DTYPE))
     if rows.size == 0:
         return empty
     index_dtype = _index_dtype(num_states)
     rows = rows.astype(index_dtype, copy=False)
     cols = cols.astype(index_dtype, copy=False)
     weights = np.zeros(rows.size, dtype=_LEAF_WEIGHT_DTYPE)
+    zero_masks = [np.ones(rows.size, dtype=bool) for _ in range(num_groups)]
     seen_machines = 0
     for machine_index in remaining_ids:
         labels = label_list[machine_index]
-        weights += labels[rows] != labels[cols]
+        separated = labels[rows] != labels[cols]
+        weights += separated
+        for group_index in groups_of_machine.get(machine_index, ()):
+            zero_masks[group_index] &= ~separated
         seen_machines += 1
         if seen_machines >= cap and rows.size:
             keep = weights < cap
             if keep.mean() < 0.75:
-                rows = rows[keep]
-                cols = cols[keep]
-                weights = weights[keep]
+                rows = np.compress(keep, rows)
+                cols = np.compress(keep, cols)
+                weights = np.compress(keep, weights)
+                zero_masks = [np.compress(keep, mask) for mask in zero_masks]
     keep = weights < cap
-    keys = rows[keep].astype(np.int64) * num_states + cols[keep].astype(np.int64)
-    return keys, weights[keep]
+    for mask in zero_masks:
+        # Zero separations inside an earlier sibling group: that
+        # group's subtree emits the pair, not this leaf.
+        keep &= ~mask
+    rows = np.compress(keep, rows)
+    cols = np.compress(keep, cols)
+    weights = np.compress(keep, weights)
+    # No overflow in the narrow case: key << bits | weight is bounded
+    # by num_states**2 << bits, which _packed_dtype already vetted.
+    keys = rows.astype(packed_dtype) * num_states + cols
+    bits = _weight_bits(cap)
+    if bits:
+        keys <<= bits
+        keys |= weights.astype(packed_dtype)
+    return keys
+
+
+def _unpack_merged(
+    packed: np.ndarray, num_states: int, cap: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted-unique packed entries -> condensed-order COO arrays.
+
+    Shifts, masks and one multiply-subtract instead of divisions where
+    possible: the lone unavoidable division is ``keys // num_states``
+    (``num_states`` is arbitrary); the column recovery reuses its result.
+    """
+    bits = _weight_bits(cap)
+    if bits:
+        keys = packed >> bits
+        weights = (packed & ((1 << bits) - 1)).astype(np.int64)
+    else:
+        keys = packed
+        weights = np.zeros(packed.size, dtype=np.int64)
+    index_dtype = _index_dtype(num_states)
+    rows = (keys // num_states).astype(index_dtype)
+    cols = (keys - rows.astype(keys.dtype) * num_states).astype(index_dtype)
+    return rows, cols, weights
 
 
 def _merge_leaf_results(
-    parts: Sequence[Tuple[np.ndarray, np.ndarray]], num_states: int
+    parts: Sequence[np.ndarray], num_states: int, cap: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Dedup leaf outputs into sorted condensed-order COO arrays.
+    """Dedup packed leaf outputs into sorted condensed-order COO arrays.
 
     Overlapping leaves rediscover the same pair with the same exact
-    weight, so ``np.unique``'s first-occurrence pick is deterministic
-    regardless of which leaf ran where.
+    weight — i.e. the same packed value — so one sort plus a
+    neighbour-diff dedup produces a deterministic result regardless of
+    which leaf ran where.  (This used to be
+    ``np.unique(keys, return_index=True)`` over separate key/weight
+    arrays; its argsort was 50+ seconds of the 95 s `mesi+counters-10`
+    ledger build.)
     """
+    parts = [part for part in parts if part.size]
     if not parts:
-        empty = np.empty(0, dtype=np.int64)
-        return empty.copy(), empty.copy(), empty.copy()
-    keys = np.concatenate([keys for keys, _ in parts])
-    weights = np.concatenate([weights for _, weights in parts])
-    if keys.size == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty.copy(), empty.copy(), empty.copy()
-    unique_keys, first = np.unique(keys, return_index=True)  # sorted = condensed order
-    return (
-        unique_keys // num_states,
-        unique_keys % num_states,
-        weights[first].astype(np.int64),
-    )
+        empty_packed = np.empty(0, dtype=_packed_dtype(num_states, cap))
+        return _unpack_merged(empty_packed, num_states, cap)
+    packed = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return _unpack_merged(_sort_unique(packed), num_states, cap)
 
 
 def _label_matrix_rows(label_list: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -390,15 +609,92 @@ def _ledger_leaf_task(
     cap: int,
     context_ids: Tuple[int, ...],
     remaining_ids: Tuple[int, ...],
-) -> Tuple[np.ndarray, np.ndarray]:
+    excluded: Tuple[Tuple[int, ...], ...],
+) -> np.ndarray:
     """Pool task: run one leaf against the shared label matrix.
 
     The task ships only machine *indices*; the label arrays themselves
-    live in the bundle published once per :class:`LedgerBuilder`.
+    live in the bundle published once per :class:`LedgerBuilder`.  The
+    leaf's packed entries come back *sorted* — the sort happens on the
+    worker, which is what lets the owner feed the parts straight into
+    the pairwise merge tree instead of re-sorting everything itself.
     """
     matrix = attached_arrays(meta)["labels"]
     label_list = [matrix[i] for i in range(matrix.shape[0])]
-    return _leaf_pairs(label_list, num_states, cap, context_ids, remaining_ids)
+    return np.sort(
+        _leaf_pairs(
+            label_list, num_states, cap, context_ids, remaining_ids,
+            excluded=excluded,
+        )
+    )
+
+
+def _merge_sorted_pair_task(
+    scratch_meta: Dict[str, object], a_lo: int, a_hi: int, b_lo: int, b_hi: int
+) -> np.ndarray:
+    """Pool task: merge two sorted slices of the shared scratch, deduped.
+
+    One node of the parallel merge tree (:func:`_pool_merge_tree`): the
+    inputs are sorted, internally duplicate-free arrays; the output is
+    their sorted set union.  Duplicate elements across the two inputs
+    are identical values (same pair, same packed weight — or plain pair
+    keys), so any pairing of parts yields byte-identical final results.
+    """
+    data = attached_arrays(scratch_meta)["data"]
+    merged = np.concatenate((data[a_lo:a_hi], data[b_lo:b_hi]))
+    return _dedup_sorted(np.sort(merged))
+
+
+def _collect_futures(futures) -> List[np.ndarray]:
+    """Results in submission order; on error, drain before raising (the
+    next wave rewrites the shared scratch, which must not race)."""
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        _wait_futures(futures)
+        raise
+
+
+#: Minimum total elements before a merge fans out to the worker pool's
+#: pairwise tree; below it the owner's one-shot sort finishes faster
+#: than task round-trips.
+_POOL_MIN_MERGE = 1 << 21
+
+
+def _pool_merge_tree(
+    pool: SharedWorkerPool, scratch: SharedScratch, parts: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Fold sorted duplicate-free parts into their set union over the pool.
+
+    Rounds of pairwise merges: the owner writes the surviving parts into
+    the rewritable ``scratch`` (legal: each round's tasks are collected
+    before the next write), workers merge adjacent pairs through
+    :func:`_merge_sorted_pair_task`, and the owner only folds the final
+    pair itself.  Set union is associative and duplicate values are
+    identical, so the result is byte-identical to the serial fold for
+    every worker count and every pairing.
+    """
+    parts = [part for part in parts if part.size]
+    while len(parts) > 2:
+        flat = np.concatenate(parts)
+        meta, _written = scratch.write(flat)
+        bounds = np.cumsum([0] + [part.size for part in parts]).tolist()
+        futures = [
+            pool.submit(
+                _merge_sorted_pair_task,
+                meta, bounds[i], bounds[i + 1], bounds[i + 1], bounds[i + 2],
+            )
+            for i in range(0, len(parts) - 1, 2)
+        ]
+        merged = _collect_futures(futures)
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return _dedup_sorted(np.sort(np.concatenate(parts)))
 
 
 def low_weight_pairs(
@@ -439,10 +735,12 @@ def low_weight_pairs(
     label_list = _label_matrix_rows([p.labels for p in partitions])
     tasks = _plan_leaf_tasks(label_list, cap, budget)
     parts = [
-        _leaf_pairs(label_list, num_states, cap, context_ids, remaining_ids, joined)
-        for context_ids, remaining_ids, joined, _estimate in tasks
+        _leaf_pairs(
+            label_list, num_states, cap, context_ids, remaining_ids, joined, excluded
+        )
+        for context_ids, remaining_ids, joined, _estimate, excluded in tasks
     ]
-    return _merge_leaf_results(parts, num_states)
+    return _merge_leaf_results(parts, num_states, cap)
 
 
 class LedgerBuilder:
@@ -470,6 +768,7 @@ class LedgerBuilder:
         "_pool",
         "_cache",
         "_bundle",
+        "_scratch",
         "_label_rows",
     )
 
@@ -487,6 +786,7 @@ class LedgerBuilder:
         self._pool = pool
         self._cache: Dict[int, "PairLedger"] = {}
         self._bundle = None
+        self._scratch: Optional[SharedScratch] = None
         # Pre-converted per-machine label arrays (e.g. the cached
         # CrossProduct.component_label_matrix rows), parallel to
         # ``partitions``; converted lazily from the partitions otherwise.
@@ -529,7 +829,7 @@ class LedgerBuilder:
         # the planner's candidate estimates bound the leaf passes, so a
         # small total runs serially rather than paying executor spawn,
         # the shared-memory publish and task round-trips.
-        total_candidates = sum(estimate for _, _, _, estimate in tasks)
+        total_candidates = sum(estimate for _, _, _, estimate, _ in tasks)
         if (
             pool is not None
             and pool.usable
@@ -542,17 +842,30 @@ class LedgerBuilder:
             meta = self._bundle.meta
             futures = [
                 pool.submit(
-                    _ledger_leaf_task, meta, self._num_states, cap, context, remaining
+                    _ledger_leaf_task, meta, self._num_states, cap,
+                    context, remaining, excluded,
                 )
-                for context, remaining, _joined, _estimate in tasks
+                for context, remaining, _joined, _estimate, excluded in tasks
             ]
-            parts = [future.result() for future in futures]
+            # Leaves come back sorted (sorted on the workers); the
+            # pairwise merge tree shards the deduplicating fold over the
+            # same pool, and the owner only folds the final pair.
+            parts = [part for part in _collect_futures(futures) if part.size]
+            if len(parts) > 2 and sum(part.size for part in parts) >= _POOL_MIN_MERGE:
+                if self._scratch is None:
+                    self._scratch = SharedScratch(pool)
+                merged = _pool_merge_tree(pool, self._scratch, parts)
+                rows, cols, weights = _unpack_merged(merged, self._num_states, cap)
+                return PairLedger(self._num_states, cap, rows, cols, weights)
         else:
             parts = [
-                _leaf_pairs(label_list, self._num_states, cap, context, remaining, joined)
-                for context, remaining, joined, _estimate in tasks
+                _leaf_pairs(
+                    label_list, self._num_states, cap, context, remaining,
+                    joined, excluded,
+                )
+                for context, remaining, joined, _estimate, excluded in tasks
             ]
-        rows, cols, weights = _merge_leaf_results(parts, self._num_states)
+        rows, cols, weights = _merge_leaf_results(parts, self._num_states, cap)
         return PairLedger(self._num_states, cap, rows, cols, weights)
 
 
@@ -772,7 +1085,11 @@ class ImplicationIndex:
 
 
 def _expand_backward_raw(
-    index: ImplicationIndex, event: int, upper: np.ndarray, lower: np.ndarray
+    index: ImplicationIndex,
+    event: int,
+    upper: np.ndarray,
+    lower: np.ndarray,
+    key_dtype: type,
 ) -> np.ndarray:
     """Canonical predecessor-pair keys of one frontier slice under one event.
 
@@ -781,7 +1098,8 @@ def _expand_backward_raw(
     pair determines its frontier pair uniquely — duplicate-free apart
     from degenerate diagonal seeds.  Duplicates live entirely *across*
     events (and are dealt with by the callers' membership filters
-    before anything gets sorted).
+    before anything gets sorted).  Keys come back in the level's
+    ``key_dtype`` (:func:`repro.core.types.narrow_key_dtype`).
     """
     num_blocks = index.num_blocks
     counts = index.counts[event]
@@ -790,7 +1108,7 @@ def _expand_backward_raw(
     totals = count_u * count_v
     grand = int(totals.sum())
     if grand == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=key_dtype)
     order = index.order[event]
     indptr = index.indptr[event]
     key_of_out = np.repeat(np.arange(upper.size, dtype=np.int64), totals)
@@ -803,7 +1121,9 @@ def _expand_backward_raw(
     lo = np.minimum(pre_u, pre_v)  # narrow dtype: half the memory traffic
     hi = np.maximum(pre_u, pre_v)
     distinct = lo != hi
-    return lo[distinct].astype(np.int64) * num_blocks + hi[distinct]
+    return _pair_keys(
+        np.compress(distinct, lo), np.compress(distinct, hi), num_blocks, key_dtype
+    )
 
 
 def _expand_backward_slice(
@@ -811,6 +1131,7 @@ def _expand_backward_slice(
     event: int,
     upper: np.ndarray,
     lower: np.ndarray,
+    key_dtype: type,
     doomed: Optional[np.ndarray] = None,
     dup_free: bool = False,
 ) -> np.ndarray:
@@ -819,15 +1140,15 @@ def _expand_backward_slice(
     The pool-task form of :func:`_expand_backward_raw`: keys already
     doomed are dropped *before* the sort — on late rounds almost
     everything is, which is what retired the 20M-element global
-    ``np.unique`` of PR 3 — and the remainder is sorted for the owner's
-    merge pipeline.  ``dup_free`` (no diagonal keys in the frontier, the
-    per-round common case) downgrades the de-duplicating ``np.unique``
-    to a plain sort.
+    per-round dedup of PR 3 — and the remainder is sorted for the
+    owner's merge pipeline.  ``dup_free`` (no diagonal keys in the
+    frontier, the per-round common case) downgrades the de-duplicating
+    :func:`_sort_unique` to a plain sort.
     """
-    keys = _expand_backward_raw(index, event, upper, lower)
+    keys = _expand_backward_raw(index, event, upper, lower, key_dtype)
     if doomed is not None and doomed.size:
-        keys = keys[~_sorted_contains(doomed, keys)]
-    return np.sort(keys) if dup_free else np.unique(keys)
+        keys = _compress_absent(doomed, keys)
+    return np.sort(keys) if dup_free else _sort_unique(keys)
 
 
 def _row_pair_chunks(
@@ -838,23 +1159,7 @@ def _row_pair_chunks(
     The row-range form of :func:`iter_pair_chunks`, in the same condensed
     order, so forward-sweep outputs concatenate into sorted key arrays.
     """
-    pending_rows: List[np.ndarray] = []
-    pending_cols: List[np.ndarray] = []
-    pending = 0
-    for row in range(row_lo, min(row_hi, num_items - 1)):
-        cols = np.arange(row + 1, num_items, dtype=np.int64)
-        pending_rows.append(np.full(cols.size, row, dtype=np.int64))
-        pending_cols.append(cols)
-        pending += cols.size
-        while pending >= chunk_size:
-            rows_cat = np.concatenate(pending_rows)
-            cols_cat = np.concatenate(pending_cols)
-            yield rows_cat[:chunk_size], cols_cat[:chunk_size]
-            pending_rows = [rows_cat[chunk_size:]]
-            pending_cols = [cols_cat[chunk_size:]]
-            pending -= chunk_size
-    if pending:
-        yield np.concatenate(pending_rows), np.concatenate(pending_cols)
+    return _pair_chunk_iter(row_lo, row_hi, num_items, chunk_size)
 
 
 def _forward_sweep(
@@ -871,33 +1176,36 @@ def _forward_sweep(
     Streams the pair space in ``O(chunk)`` memory; the output comes back
     sorted (chunks arrive in condensed order) and already filtered
     against ``doomed``, and row ranges never overlap, so per-range
-    outputs concatenate into the round's fresh set directly.
+    outputs concatenate into the round's fresh set directly.  Keys ride
+    in ``doomed``'s (the level's) key dtype throughout.
     """
     num_blocks = index.num_blocks
+    key_dtype = doomed.dtype
     parts: List[np.ndarray] = []
     for rows, cols in _row_pair_chunks(row_lo, row_hi, num_blocks, chunk_size):
-        keys = rows * num_blocks + cols
-        alive = ~_sorted_contains(doomed, keys)
+        keys = _pair_keys(rows, cols, num_blocks, key_dtype)
+        alive = _sorted_contains(doomed, keys)
+        np.logical_not(alive, out=alive)
         if not alive.any():
             continue
-        rows = rows[alive]
-        cols = cols[alive]
-        keys = keys[alive]
+        rows = np.compress(alive, rows)
+        cols = np.compress(alive, cols)
+        keys = np.compress(alive, keys)
         hit = np.zeros(rows.size, dtype=bool)
         for event in range(index.num_events):
             image = index.images[event]
-            succ_u = image[rows].astype(np.int64)
-            succ_v = image[cols].astype(np.int64)
+            succ_u = image[rows]
+            succ_v = image[cols]
             lo = np.minimum(succ_u, succ_v)
             hi = np.maximum(succ_u, succ_v)
             # A collapsed successor (lo == hi) only dooms through a
             # degenerate diagonal seed key, which the membership check
             # handles uniformly — matching the backward expansion.
-            hit |= _sorted_contains(doomed, lo * num_blocks + hi)
+            hit |= _sorted_contains(doomed, _pair_keys(lo, hi, num_blocks, key_dtype))
         if hit.any():
-            parts.append(keys[hit])
+            parts.append(np.compress(hit, keys))
     if not parts:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=key_dtype)
     return np.concatenate(parts)
 
 
@@ -924,7 +1232,7 @@ def _prune_backward_task(
     keys = frontier[lo:hi]
     return _expand_backward_slice(
         index, event, keys // index.num_blocks, keys % index.num_blocks,
-        doomed, dup_free,
+        data.dtype.type, doomed, dup_free,
     )
 
 
@@ -966,15 +1274,15 @@ def _merge_fresh_parts(
     granularity and order, which is what keeps the serial and every
     parallel sharding byte-identical.
     """
-    fresh = np.empty(0, dtype=np.int64)
+    fresh = np.empty(0, dtype=doomed.dtype)
     for part in parts:
         if part.size == 0:
             continue
-        part = part[~_sorted_contains(doomed, part)]
+        part = _compress_absent(doomed, part)
         if part.size == 0:
             continue
         if fresh.size:
-            part = part[~_sorted_contains(fresh, part)]
+            part = _compress_absent(fresh, part)
         fresh = _merge_disjoint_sorted(fresh, part)
     return fresh
 
@@ -1094,17 +1402,18 @@ class DoomedPairEngine:
         array; :attr:`last_stats` describes the run.
         """
         num_blocks = int(num_blocks)
+        key_dtype = narrow_key_dtype(num_blocks)
         stats = PruneStats(num_blocks=num_blocks)
         if (
             base_labels is not None
             and self._identity_seed is not None
             and num_blocks == base_labels.size
         ):
-            doomed = np.asarray(self._identity_seed, dtype=np.int64)
+            doomed = np.asarray(self._identity_seed, dtype=key_dtype)
         else:
-            weak_lo = np.minimum(weak_a, weak_b).astype(np.int64)
-            weak_hi = np.maximum(weak_a, weak_b).astype(np.int64)
-            doomed = np.unique(weak_lo * num_blocks + weak_hi)
+            weak_lo = np.minimum(weak_a, weak_b)
+            weak_hi = np.maximum(weak_a, weak_b)
+            doomed = _sort_unique(_pair_keys(weak_lo, weak_hi, num_blocks, key_dtype))
         # The seeding proof needs this level to separate every weakest
         # edge (the mapped chains must end at a *distinct* weak pair).
         # Always true inside a descent; a degenerate direct call with a
@@ -1115,9 +1424,7 @@ class DoomedPairEngine:
         mapped = self._seed_from_previous(base_labels, num_blocks) if separated else None
         if mapped is not None and mapped.size:
             stats.seeded = int(mapped.size)
-            doomed = _merge_disjoint_sorted(
-                doomed, mapped[~_sorted_contains(doomed, mapped)]
-            )
+            doomed = _merge_disjoint_sorted(doomed, _compress_absent(doomed, mapped))
         if quotient.size and doomed.size:
             if index is None:
                 index = ImplicationIndex(quotient, num_blocks)
@@ -1164,19 +1471,23 @@ class DoomedPairEngine:
         prev_doomed = self._prev_doomed
         if base_labels is None or prev_labels is None or prev_doomed is None:
             return None
+        key_dtype = narrow_key_dtype(num_blocks)
         block_map = base_labels[_first_of_each_block(prev_labels)]
         if block_map.size != self._prev_blocks or not np.array_equal(
             block_map[prev_labels], base_labels
         ):
             return None  # not a coarsening of the remembered level
         if prev_doomed.size == 0:
-            return np.empty(0, dtype=np.int64)
-        map_u = block_map[prev_doomed // self._prev_blocks].astype(np.int64)
-        map_v = block_map[prev_doomed % self._prev_blocks].astype(np.int64)
+            return np.empty(0, dtype=key_dtype)
+        block_map = block_map.astype(_index_dtype(num_blocks))
+        map_u = block_map[prev_doomed // self._prev_blocks]
+        map_v = block_map[prev_doomed % self._prev_blocks]
         lo = np.minimum(map_u, map_v)
         hi = np.maximum(map_u, map_v)
         keep = lo != hi
-        return np.unique(lo[keep] * num_blocks + hi[keep])
+        return _sort_unique(
+            _pair_keys(np.compress(keep, lo), np.compress(keep, hi), num_blocks, key_dtype)
+        )
 
     # ------------------------------------------------------------------
     def _fixpoint(
@@ -1266,15 +1577,6 @@ class DoomedPairEngine:
                 self._pool.retire(self._index_bundle)
             self._index_bundle = None
 
-    def _collect(self, futures) -> List[np.ndarray]:
-        """Results in submission order; on error, drain before raising
-        (the next round rewrites the scratch, which must not race)."""
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            _wait_futures(futures)
-            raise
-
     def _backward_round(
         self,
         index: ImplicationIndex,
@@ -1288,29 +1590,34 @@ class DoomedPairEngine:
         """One backward round's fresh keys (sorted, not yet in ``doomed``).
 
         Serial path: each event's raw expansion is membership-filtered
-        against everything seen so far *before* any sorting, so sort
-        work tracks the genuinely new keys (a few percent of the raw
-        expansion) instead of the full duplicate-heavy output.  Pooled
-        path: (event, frontier-slice) tasks pre-filter and sort against
-        the published doomed set worker-side, and the owner's merge
-        pipeline removes the remaining cross-event duplicates — the same
-        set either way.
+        against the doomed set and the round's accumulated fresh keys
+        *before* any sorting, so sort work tracks the genuinely new keys
+        (a few percent of the raw expansion) and nothing ever re-copies
+        the full doomed set mid-round (filtering against ``doomed`` and
+        ``fresh`` separately replaced PR 4's per-event merge into a
+        combined ``seen`` array, whose ``O(doomed)`` copies dominated
+        the big levels).  Pooled path: (event, frontier-slice) tasks
+        pre-filter and sort against the published doomed set
+        worker-side, and the owner folds the parts — through the
+        pool's pairwise merge tree when the round is large, its own
+        merge pipeline otherwise.  The same set either way.
         """
         grand_total = sum(int(totals_by_event[event].sum()) for event in run_events)
         # Diagonal keys (only degenerate seed inputs produce them) are
         # the one source of within-part duplicates; without them a plain
-        # sort replaces the de-duplicating np.unique.
+        # sort replaces the de-duplicating _sort_unique.
         dup_free = not bool((upper == lower).any())
+        key_dtype = doomed.dtype
         if not self._pool_ready(grand_total):
-            seen = doomed
-            fresh = np.empty(0, dtype=np.int64)
+            fresh = np.empty(0, dtype=key_dtype)
             for event in run_events:
-                keys = _expand_backward_raw(index, event, upper, lower)
-                keys = keys[~_sorted_contains(seen, keys)]
+                keys = _expand_backward_raw(index, event, upper, lower, key_dtype)
+                keys = _compress_absent(doomed, keys)
+                if fresh.size:
+                    keys = _compress_absent(fresh, keys)
                 if keys.size == 0:
                     continue
-                keys = np.sort(keys) if dup_free else np.unique(keys)
-                seen = _merge_disjoint_sorted(seen, keys)
+                keys = np.sort(keys) if dup_free else _sort_unique(keys)
                 fresh = _merge_disjoint_sorted(fresh, keys)
             return fresh
         pool = self._pool
@@ -1335,7 +1642,12 @@ class DoomedPairEngine:
                         int(doomed_len), event, int(lo), int(hi), dup_free,
                     )
                 )
-        return _merge_fresh_parts(self._collect(futures), doomed)
+        parts = [part for part in _collect_futures(futures) if part.size]
+        if len(parts) > 2 and sum(part.size for part in parts) >= _POOL_MIN_MERGE:
+            # Workers pre-filtered every part against the published
+            # doomed set, so the tree's set union *is* the fresh set.
+            return _pool_merge_tree(pool, self._scratch, parts)
+        return _merge_fresh_parts(parts, doomed)
 
     def _forward_round(
         self, index: ImplicationIndex, doomed: np.ndarray, forward_cost: int
@@ -1357,9 +1669,9 @@ class DoomedPairEngine:
             )
             for lo, hi in zip(bounds[:-1], bounds[1:])
         ]
-        parts = [part for part in self._collect(futures) if part.size]
+        parts = [part for part in _collect_futures(futures) if part.size]
         if not parts:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=doomed.dtype)
         # Row ranges are disjoint and streamed in condensed order, so
         # the concatenation is already the sorted fresh set.
         return np.concatenate(parts)
@@ -1400,7 +1712,15 @@ def _sorted_contains(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray
 def sorted_key_membership(
     sorted_keys: np.ndarray, rows: np.ndarray, cols: np.ndarray, num_blocks: int
 ) -> np.ndarray:
-    """Membership mask of the pairs ``(rows, cols)`` in a sorted key set."""
+    """Membership mask of the pairs ``(rows, cols)`` in a sorted key set.
+
+    Queries are built in ``sorted_keys``' own dtype (safe: block ids are
+    below ``num_blocks``, so the keys fit whatever the level's
+    :func:`repro.core.types.narrow_key_dtype` chose), keeping the
+    ``searchsorted`` pass narrow instead of promoting both sides to
+    int64.
+    """
     if sorted_keys.size == 0:
         return np.zeros(rows.size, dtype=bool)
-    return _sorted_contains(sorted_keys, rows * num_blocks + cols)
+    queries = _pair_keys(rows, cols, num_blocks, sorted_keys.dtype.type)
+    return _sorted_contains(sorted_keys, queries)

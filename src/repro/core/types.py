@@ -22,6 +22,7 @@ __all__ = [
     "StateTuple",
     "BlockLabelVector",
     "narrow_index_dtype",
+    "narrow_key_dtype",
 ]
 
 
@@ -36,6 +37,30 @@ def narrow_index_dtype(num_values: int) -> type:
     importing across layers.
     """
     return np.int32 if num_values <= np.iinfo(np.int32).max else np.int64
+
+
+#: Largest block count whose canonical pair keys ``a * B + b`` (with
+#: ``a < b < B``, so the largest key is ``B**2 - 1``) still fit int32:
+#: ``46340**2 < 2**31 - 1 < 46341**2``.  Module-level so tests can patch
+#: it down and exercise the int64 key path on small machines (see
+#: ``tests/property/test_narrow_keys.py``).
+_KEY_INT32_BLOCK_LIMIT = 46341
+
+
+def narrow_key_dtype(num_blocks: int) -> type:
+    """The narrowest dtype holding pair keys ``a * num_blocks + b``.
+
+    The sparse engine addresses unordered block pairs by the canonical
+    key ``a * B + b`` (``a < b``); every level of a lattice descent (and
+    the pair ledger of a whole graph) picks its key dtype with this one
+    rule, so the merges, sorts and shared-memory segments that dominate
+    the large benchmarks move half the bytes whenever the level's block
+    count is below :data:`_KEY_INT32_BLOCK_LIMIT` (46341).  Consumers
+    must build keys with an explicit ``astype`` to this dtype *before*
+    the multiply: letting NumPy promote would compute — and ship —
+    int64 everywhere.
+    """
+    return np.int32 if num_blocks < _KEY_INT32_BLOCK_LIMIT else np.int64
 
 #: A user-facing state label.  Any hashable value is accepted.
 StateLabel = Hashable

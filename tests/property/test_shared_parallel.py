@@ -176,3 +176,106 @@ class TestIncrementalLedgerMaintenance:
         # planned must be over the 4 base machines, never the 5-machine list.
         child.edges_below(4)
         assert calls and all(machine_count == 4 for machine_count, _ in calls)
+
+
+class TestParallelMergeTree:
+    """The worker-side pairwise merge tree equals the owner's serial fold."""
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("num_parts", [3, 5, 9])
+    def test_tree_union_matches_serial(self, dtype, workers, num_parts):
+        import repro.core.sparse as sparse_module
+        from repro.core.shm import SharedScratch
+
+        rng = np.random.default_rng(num_parts * 10 + workers)
+        parts = [
+            np.unique(rng.integers(0, 5000, size=rng.integers(0, 800)))
+            .astype(dtype)
+            for _ in range(num_parts)
+        ]
+        reference = np.unique(np.concatenate(parts)).astype(dtype)
+        pool = SharedWorkerPool(workers)
+        try:
+            scratch = SharedScratch(pool, dtype=dtype)
+            merged = sparse_module._pool_merge_tree(pool, scratch, parts)
+            scratch.close()
+        finally:
+            pool.close()
+        assert merged.dtype == reference.dtype
+        assert np.array_equal(merged, reference)
+
+    def test_ledger_build_through_merge_tree_byte_identical(self, monkeypatch):
+        """With the merge-tree gate open, the pooled build (leaves sorted
+        on workers, folded by the tree) still equals the serial arrays."""
+        import repro.core.sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "_POOL_MIN_CANDIDATES", 0)
+        monkeypatch.setattr(sparse_module, "_POOL_MIN_MERGE", 0)
+        product = CrossProduct(_protocol_mix())
+        partitions = product.component_partitions()
+        pool = SharedWorkerPool(2)
+        try:
+            builder = LedgerBuilder(partitions, product.num_states, pool=pool)
+            for cap in (2, 3):
+                rows, cols, weights = low_weight_pairs(
+                    partitions, product.num_states, cap
+                )
+                built = builder.base(cap)
+                assert built.rows.dtype == rows.dtype
+                assert np.array_equal(built.rows, rows)
+                assert np.array_equal(built.cols, cols)
+                assert np.array_equal(built.weights, weights)
+        finally:
+            pool.close()
+
+    def test_prune_rounds_through_merge_tree_byte_identical(self, monkeypatch):
+        """Backward prune rounds folded by the tree equal the serial set."""
+        import repro.core.sparse as sparse_module
+        from repro.core.partition import Partition, quotient_table
+        from repro.core.sparse import doomed_pair_keys
+
+        monkeypatch.setattr(sparse_module, "_PRUNE_POOL_MIN_EXPAND", 0)
+        monkeypatch.setattr(sparse_module, "_POOL_MIN_MERGE", 0)
+        product = CrossProduct(_protocol_mix())
+        graph = FaultGraph.from_cross_product(
+            product, mode="sparse", weight_cap=2
+        )
+        weak_rows, weak_cols = graph.weakest_edge_arrays()
+        quotient = quotient_table(
+            product.machine, Partition.identity(product.num_states)
+        )
+        serial = doomed_pair_keys(
+            quotient, weak_rows, weak_cols, product.num_states
+        )
+        pool = SharedWorkerPool(2)
+        try:
+            pooled = doomed_pair_keys(
+                quotient, weak_rows, weak_cols, product.num_states, pool=pool
+            )
+        finally:
+            pool.close()
+        assert pooled.dtype == serial.dtype
+        assert np.array_equal(pooled, serial)
+
+
+class TestParallelExploration:
+    """Sharding the BFS frontier expansion never changes discovery order."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("case", sorted(MACHINE_SETS))
+    def test_pooled_walk_identical_to_serial(self, case, workers, monkeypatch):
+        import repro.core.product as product_module
+
+        monkeypatch.setattr(product_module, "_EXPLORE_POOL_MIN_FRONTIER", 1)
+        serial = CrossProduct(MACHINE_SETS[case]())
+        pool = SharedWorkerPool(workers)
+        try:
+            pooled = CrossProduct(MACHINE_SETS[case](), pool=pool)
+        finally:
+            pool.close()
+        assert pooled.state_tuples() == serial.state_tuples()
+        assert np.array_equal(
+            pooled.machine.transition_table, serial.machine.transition_table
+        )
+        assert pooled.machine.events == serial.machine.events

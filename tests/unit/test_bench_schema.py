@@ -28,7 +28,36 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/2"
+    assert _payload()["schema"] == "repro-bench-perf/3"
+
+
+def test_every_stage_carries_consistent_exclusive_seconds():
+    """Schema v3: stages report exclusive (nesting-corrected) seconds.
+
+    ``prune`` and ``closure`` run *inside* ``descent``, so inclusive
+    per-stage seconds overlap by design; the exclusive figures must be
+    bounded by the inclusive ones and account for the descent exactly —
+    that is what makes per-stage attribution in the trajectory additive.
+    """
+    for name, record in _payload()["cases"].items():
+        stages = record["stages"]
+        for stage, entry in stages.items():
+            assert "exclusive_seconds" in entry, (name, stage)
+            assert -1e-6 <= entry["exclusive_seconds"] <= entry["seconds"] + 1e-6, (
+                name,
+                stage,
+            )
+        if "descent" in stages:
+            nested = sum(
+                stages[child]["seconds"]
+                for child in ("prune", "closure")
+                if child in stages
+            )
+            descent = stages["descent"]
+            assert (
+                abs(descent["seconds"] - descent["exclusive_seconds"] - nested)
+                <= 1e-3
+            ), name
 
 
 def test_every_case_carries_prune_stats():
@@ -55,4 +84,21 @@ def test_flagship_mix_case_is_recorded_untruncated():
     assert record["seconds"] < 60.0
     assert record["engine"] == "sparse"
     assert record["prune_stats"]["truncated"] == 0
+    assert record["prune_stats"]["seeded"] > 0
+
+
+def test_narrow_key_flagship_is_recorded_with_first_figure_pinned():
+    """The PR-5 flagship: present, inside the guard, introduction pinned.
+
+    Its top level deliberately truncates the pruning fixpoint (the
+    budgeted stop is ~65 s cheaper than convergence and costs ~1.5 s of
+    extra closure checks); the stats must *report* that — at most the
+    one budgeted stop — rather than hide it.
+    """
+    record = _payload()["cases"]["mesi+counters-10 (top=236196)"]
+    assert record["summary"]["top_size"] == 236196
+    assert record["seconds"] < 60.0
+    assert record["engine"] == "sparse"
+    assert record["first_recorded_seconds"] is not None
+    assert record["prune_stats"]["truncated"] <= 1
     assert record["prune_stats"]["seeded"] > 0

@@ -187,6 +187,67 @@ class TestSharedScratch:
             scratch.close()  # idempotent
 
 
+def _two_bundle_task(first_meta, second_meta):
+    """Views of the first bundle must stay valid after attaching the
+    second — even when the second attach evicts the first from the
+    worker's cache (the PR 5 regression: an immediate unmap let the OS
+    reuse the address range and the live views silently read the wrong
+    segment's bytes)."""
+    arrays = attached_arrays(first_meta)
+    payload = arrays["payload"]
+    before = int(payload.sum())
+    _other = attached_arrays(second_meta)["payload"]
+    after = int(payload.sum())
+    return before, after
+
+
+class TestAttachCacheEvictionSafety:
+    def test_views_survive_mid_task_eviction(self, monkeypatch):
+        import repro.core.shm as shm_module
+
+        # Cache of 1: every second attach evicts the first bundle while
+        # the task still holds views of it.
+        monkeypatch.setattr(shm_module, "_ATTACH_CACHE_LIMIT", 1)
+        with SharedWorkerPool(2) as pool:
+            first = pool.publish({"payload": np.arange(1000, dtype=np.int64)})
+            expected = int(np.arange(1000).sum())
+            for round_index in range(6):
+                # Fresh second bundle per round: constant segment churn.
+                second = pool.publish(
+                    {"payload": np.full(2000, round_index, dtype=np.int64)}
+                )
+                before, after = pool.submit(
+                    _two_bundle_task, first.meta, second.meta
+                ).result()
+                assert before == expected, round_index
+                assert after == expected, round_index
+                pool.retire(second)
+
+    def test_cache_is_lru_not_fifo(self):
+        import repro.core.shm as shm_module
+
+        bundles = [
+            SharedArrayBundle.create({"payload": np.arange(3, dtype=np.int64)})
+            for _ in range(3)
+        ]
+        saved_cache = dict(shm_module._ATTACH_CACHE)
+        shm_module._ATTACH_CACHE.clear()
+        try:
+            for bundle in bundles:
+                attached_arrays(bundle.meta)
+            attached_arrays(bundles[0].meta)  # touch: most recently used
+            order = list(shm_module._ATTACH_CACHE)
+            assert order[-1] == bundles[0].name
+        finally:
+            shm_module._drain_pending_closes()
+            for name in list(shm_module._ATTACH_CACHE):
+                if name not in saved_cache:
+                    shm_module._ATTACH_CACHE.pop(name).close()
+            shm_module._ATTACH_CACHE.update(saved_cache)
+            for bundle in bundles:
+                bundle.close()
+
+
 class TestResolveWorkersReExport:
     def test_fusion_re_export_is_the_same_function(self):
         from repro.core import fusion

@@ -86,6 +86,78 @@ class TestPairLedger:
 
 
 # ----------------------------------------------------------------------
+# Disjoint-leaf planning (the excluded-sibling-group rule)
+# ----------------------------------------------------------------------
+class TestDisjointLeafPlan:
+    """Dense-reference checks of the recursive, exclusion-masked plan.
+
+    A tiny leaf target forces deep pigeonhole recursion, where one
+    machine sits in several excluded groups at once (an ancestor split's
+    group and a deeper split's subgroup of it) — the exact shape where a
+    leaf dropping pairs for the wrong sibling silently loses ledger
+    entries.  Every (seed, cap) case is compared against brute-force
+    dense weights.
+    """
+
+    @staticmethod
+    def _dense_reference(label_list, num_states, cap):
+        rows, cols = np.triu_indices(num_states, k=1)
+        weights = np.zeros(rows.size, dtype=np.int64)
+        for labels in label_list:
+            weights += labels[rows] != labels[cols]
+        keep = weights < cap
+        return rows[keep], cols[keep], weights[keep]
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("cap,num_machines", [(2, 4), (2, 6), (3, 9), (4, 12)])
+    @pytest.mark.parametrize("leaf_target", [1, 64])
+    def test_recursive_plan_matches_dense(
+        self, monkeypatch, seed, cap, num_machines, leaf_target
+    ):
+        import repro.core.sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "_LEAF_PAIR_TARGET", leaf_target)
+        rng = np.random.default_rng(seed)
+        num_states = 48
+        partitions = [
+            Partition(rng.integers(0, 3, size=num_states))
+            for _ in range(num_machines)
+        ]
+        rows, cols, weights = low_weight_pairs(
+            partitions, num_states, cap, budget=10**9
+        )
+        r_ref, c_ref, w_ref = self._dense_reference(
+            [p.labels for p in partitions], num_states, cap
+        )
+        assert np.array_equal(np.asarray(rows, dtype=np.int64), r_ref)
+        assert np.array_equal(np.asarray(cols, dtype=np.int64), c_ref)
+        assert np.array_equal(np.asarray(weights, dtype=np.int64), w_ref)
+
+    def test_leaves_are_disjoint_under_recursion(self, monkeypatch):
+        """No pair key is emitted by two different leaves of one plan."""
+        import repro.core.sparse as sparse_module
+
+        rng = np.random.default_rng(7)
+        num_states, cap = 48, 3
+        partitions = [
+            Partition(rng.integers(0, 3, size=num_states)) for _ in range(9)
+        ]
+        label_list = sparse_module._label_matrix_rows(
+            [p.labels for p in partitions]
+        )
+        tasks = sparse_module._plan_leaf_tasks(label_list, cap, 10**9, leaf_target=1)
+        assert any(excluded for *_rest, excluded in tasks)  # recursion engaged
+        parts = [
+            sparse_module._leaf_pairs(
+                label_list, num_states, cap, context, remaining, joined, excluded
+            )
+            for context, remaining, joined, _estimate, excluded in tasks
+        ]
+        packed = np.concatenate([part for part in parts if part.size])
+        assert np.unique(packed).size == packed.size
+
+
+# ----------------------------------------------------------------------
 # DoomedPairEngine truncation reporting
 # ----------------------------------------------------------------------
 class TestPruneStatsReporting:
