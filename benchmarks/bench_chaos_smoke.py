@@ -1,0 +1,103 @@
+"""Chaos smoke: a seeded worker-kill mid-fusion must be survivable.
+
+The CI chaos job runs the ``counters-9 (top=19683)`` flagship with two
+pool workers and a seeded ``REPRO_CHAOS`` worker-kill plan, then checks
+the three guarantees the self-healing layer makes:
+
+1. the fusion completes and its summary equals the fault-free reference
+   (recovery is byte-identical, not merely "finishes");
+2. the injected crash was actually observed *and* healed — a smoke that
+   never kills anything proves nothing, so ``chaos``/``crashes``/
+   ``rebuilds`` must all be non-zero in the ``resilience_stats``
+   counters;
+3. zero ``/dev/shm`` segments owned by this process remain linked.
+
+Run it exactly as CI does::
+
+    REPRO_FUSION_WORKERS=2 \
+    REPRO_CHAOS="worker_kill=1.0,max=1,seed=7" \
+    PYTHONPATH=src python benchmarks/bench_chaos_smoke.py
+
+``REPRO_CHAOS`` may be overridden to smoke other fault mixes (e.g. a
+``task_hang`` plan together with ``REPRO_FUSION_TASK_TIMEOUT``); the
+assertions only require that at least one fault fired and was healed
+without degradation.  Exits non-zero on any violated guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.fusion import generate_fusion
+from repro.core.resilience import assert_no_owned_segments, chaos_from_env
+from repro.core.shm import resolve_workers
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+DEFAULT_CHAOS = "worker_kill=1.0,max=1,seed=7"
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+def main() -> int:
+    os.environ.setdefault("REPRO_CHAOS", DEFAULT_CHAOS)
+    workers = resolve_workers()
+    if workers < 2:
+        print("FAIL: chaos smoke needs REPRO_FUSION_WORKERS >= 2, got %d" % workers)
+        return 2
+    if chaos_from_env() is None:
+        print("FAIL: REPRO_CHAOS is unset or inactive")
+        return 2
+
+    machines = _counters(9)
+    print("reference run (serial, fault-free) ...")
+    reference = generate_fusion(_counters(9), f=1, workers=0)
+
+    print(
+        "chaos run: workers=%d REPRO_CHAOS=%r ..."
+        % (workers, os.environ["REPRO_CHAOS"])
+    )
+    watch = Stopwatch()
+    result = generate_fusion(machines, f=1, workers=workers, stopwatch=watch)
+    stats = watch.extras("resilience")
+    print("resilience_stats: %s" % stats)
+
+    failures = []
+    if result.summary() != reference.summary():
+        failures.append(
+            "recovered summary differs from the fault-free reference: %r != %r"
+            % (result.summary(), reference.summary())
+        )
+    if stats.get("chaos", 0) < 1:
+        failures.append("no chaos fault was injected (chaos=0)")
+    if stats.get("crashes", 0) + stats.get("timeouts", 0) < 1:
+        failures.append("no worker fault was observed (crashes=timeouts=0)")
+    if stats.get("rebuilds", 0) < 1:
+        failures.append("the pool never healed (rebuilds=0)")
+    if stats.get("degraded", 0) != 0:
+        failures.append("a single bounded fault must heal, not degrade")
+    try:
+        assert_no_owned_segments()
+    except Exception as exc:  # SegmentLeakError
+        failures.append(str(exc))
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print("OK: killed a worker mid-fusion, healed, output byte-identical, no leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

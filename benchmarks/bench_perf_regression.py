@@ -59,6 +59,14 @@ are based on.  ``stage_entries_are_consistent`` pins the invariant in
 ``mesi+counters-10 (top=236196)`` — the narrow-key flagship, whose
 cap-3 ledger build alone previously blew the 60 s guard — enters the
 suite with PR 5.
+
+Schema ``repro-bench-perf/4`` (PR 6) adds a ``resilience_stats`` block
+per case: worker crashes, watchdog timeouts, pool rebuilds, bundle
+re-publications, wave replays, serial degradations and injected chaos
+faults, as counted by the self-healing layer
+(:mod:`repro.core.resilience`).  All-zero in a healthy serial or
+parallel run — the block exists so any recovery activity during a
+benchmark shows up in the trajectory instead of only in the wall-clock.
 """
 
 from __future__ import annotations
@@ -233,6 +241,13 @@ PRUNE_STATS_FIELDS = (
     "calls", "rounds", "forward_rounds", "spent", "truncated", "seeded",
 )
 
+#: Fields every case's ``resilience_stats`` block must carry (schema
+#: ``repro-bench-perf/4``) — the self-healing layer's counters, all zero
+#: unless workers crashed, hung or were chaos-injected during the run.
+RESILIENCE_STATS_FIELDS = (
+    "crashes", "timeouts", "rebuilds", "republished", "retries", "degraded", "chaos",
+)
+
 
 def stage_entries_are_consistent(stages: Dict[str, Dict[str, float]]) -> bool:
     """Schema-v3 stage invariants: every entry carries both clocks.
@@ -324,6 +339,14 @@ def run_case(name: str, rounds: int = 1) -> Dict[str, object]:
                     "truncated": int(prune_stage.get("truncated", 0)),
                     "seeded": int(prune_stage.get("seeded", 0)),
                 },
+                # Always present (all-zero in a healthy run): what the
+                # self-healing layer did — crashes healed, watchdog
+                # timeouts, bundle re-publications, serial degradations
+                # and injected chaos faults.
+                "resilience_stats": {
+                    field: int(stages.get("resilience", {}).get(field, 0))
+                    for field in RESILIENCE_STATS_FIELDS
+                },
                 "summary": result.summary(),
                 "engine": "sparse" if result.graph.is_sparse else "dense",
                 # For sparse runs: stored low-weight pairs — the O(nnz)
@@ -350,12 +373,14 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
     _warm_up()
     cases = {name: run_case(name, rounds=rounds) for name in CASES}
     return {
-        "schema": "repro-bench-perf/3",
+        "schema": "repro-bench-perf/4",
         "note": (
             "Wall-clock seconds per Algorithm-2 workload with per-stage "
             "breakdown (inclusive seconds plus nesting-corrected "
-            "exclusive_seconds) and doomed-pair prune_stats (rounds/spent/"
-            "truncated/seeded). pre_pr_seconds pins the seed-commit engine "
+            "exclusive_seconds), doomed-pair prune_stats (rounds/spent/"
+            "truncated/seeded) and self-healing resilience_stats (crashes/"
+            "timeouts/rebuilds/retries/degraded/chaos, all-zero in a "
+            "healthy run). pre_pr_seconds pins the seed-commit engine "
             "on the reference container; regenerate with "
             "PYTHONPATH=src python benchmarks/bench_perf_regression.py"
         ),
@@ -530,6 +555,8 @@ def main(argv: Sequence[str]) -> int:
             if record["summary"] != EXPECTED_SUMMARIES[name]
             or record["seconds"] >= WALL_CLOCK_GUARDS[name]
             or sorted(record.get("prune_stats", {})) != sorted(PRUNE_STATS_FIELDS)
+            or sorted(record.get("resilience_stats", {}))
+            != sorted(RESILIENCE_STATS_FIELDS)
             or not stage_entries_are_consistent(record["stages"])
         ]
         if failures:

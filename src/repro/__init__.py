@@ -44,6 +44,7 @@ Package layout
 from .core import (
     DFSM,
     DFSMBuilder,
+    ChaosSpec,
     ClosedPartitionLattice,
     CrossProduct,
     FaultGraph,
@@ -57,11 +58,15 @@ from .core import (
     NotComparableError,
     Partition,
     PartitionError,
+    PoolDegradedError,
     RecoveryEngine,
     RecoveryError,
     RecoveryOutcome,
     ReplicatedSystem,
     ReproError,
+    ResilienceConfig,
+    ResilienceStats,
+    SegmentLeakError,
     SerializationError,
     SimulationError,
     UnknownEventError,
@@ -127,6 +132,10 @@ __all__ = [
     "RecoveryEngine",
     "RecoveryOutcome",
     "ReplicatedSystem",
+    # resilience
+    "ChaosSpec",
+    "ResilienceConfig",
+    "ResilienceStats",
     # errors
     "ReproError",
     "InvalidMachineError",
@@ -136,6 +145,8 @@ __all__ = [
     "PartitionError",
     "FusionError",
     "FusionExistenceError",
+    "PoolDegradedError",
+    "SegmentLeakError",
     "RecoveryError",
     "FaultToleranceExceededError",
     "SimulationError",

@@ -27,8 +27,10 @@ from .exceptions import (
     InvalidMachineError,
     NotComparableError,
     PartitionError,
+    PoolDegradedError,
     RecoveryError,
     ReproError,
+    SegmentLeakError,
     SerializationError,
     SimulationError,
     UnknownEventError,
@@ -65,6 +67,15 @@ from .fusion import (
     resolve_workers,
 )
 from .lattice import ClosedPartitionLattice, basis, lower_cover, lower_cover_machines
+from .resilience import (
+    ChaosSpec,
+    EngineFaultKind,
+    ResilienceConfig,
+    ResilienceStats,
+    assert_no_owned_segments,
+    live_owned_segments,
+    reap_owned_segments,
+)
 from .shm import SharedArrayBundle, SharedWorkerPool
 from .sparse import LedgerBuilder, PairLedger
 from .minimize import are_equivalent, hopcroft_minimize, minimize, remove_unreachable
@@ -127,6 +138,14 @@ __all__ = [
     "PairLedger",
     "SharedArrayBundle",
     "SharedWorkerPool",
+    # resilience
+    "ChaosSpec",
+    "EngineFaultKind",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "assert_no_owned_segments",
+    "live_owned_segments",
+    "reap_owned_segments",
     # fusion
     "FusionResult",
     "resolve_workers",

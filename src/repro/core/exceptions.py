@@ -17,6 +17,8 @@ __all__ = [
     "PartitionError",
     "FusionError",
     "FusionExistenceError",
+    "PoolDegradedError",
+    "SegmentLeakError",
     "RecoveryError",
     "FaultToleranceExceededError",
     "SimulationError",
@@ -67,6 +69,24 @@ class FusionExistenceError(FusionError):
 
     By Theorem 4 an (f, m)-fusion of a machine set ``A`` exists iff
     ``m + dmin(A) > f``.
+    """
+
+
+class PoolDegradedError(FusionError):
+    """A task was submitted to a worker pool that already degraded.
+
+    The pool exhausted its heal-and-replay budget and fell back to
+    serial execution for the rest of its lifetime; callers must check
+    ``pool.usable`` and take the serial path instead of submitting.
+    """
+
+
+class SegmentLeakError(FusionError):
+    """Shared-memory segments owned by this process were left linked.
+
+    Raised by the ``/dev/shm`` leak check
+    (:func:`repro.core.resilience.assert_no_owned_segments`) that tests
+    and CI run after every fusion.
     """
 
 

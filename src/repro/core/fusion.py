@@ -84,6 +84,7 @@ from .partition import (
     quotient_table,
 )
 from .product import CrossProduct
+from .resilience import RECOVERABLE_POOL_ERRORS
 from .shm import _MAX_WORKERS, SharedWorkerPool, attached_arrays, resolve_workers
 from .sparse import (
     DEFAULT_CANDIDATE_BUDGET,
@@ -373,7 +374,6 @@ class _DescentShared:
                 "labels": np.zeros(top.num_states, dtype=np.int64),
             }
         )
-        self._meta = self._bundle.meta
         self._first_only = bool(first_only)
         self._level = -1
 
@@ -381,14 +381,23 @@ class _DescentShared:
     def workers(self) -> int:
         return self._pool.workers
 
+    @property
+    def pool(self) -> SharedWorkerPool:
+        """The fusion-wide pool (for the scan's recovery handling)."""
+        return self._pool
+
     def set_level(self, base_labels: np.ndarray) -> None:
         """Install one lattice level's partition labels in the scratch."""
         self._bundle.arrays["labels"][...] = base_labels
         self._level += 1
 
     def submit(self, pairs: np.ndarray) -> Future:
+        # meta is re-read per submit (never cached): after a pool heal
+        # the bundle respawns under a fresh segment name, and replayed
+        # tasks must attach the fresh segment — which also invalidates
+        # the workers' per-level memo keyed by segment name.
         return self._pool.submit(
-            _descent_level_task, self._meta, self._level, self._first_only, pairs
+            _descent_level_task, self._bundle.meta, self._level, self._first_only, pairs
         )
 
     def retire(self) -> None:
@@ -557,23 +566,70 @@ def _scan_level_sparse(
     # The pool persists across levels; only this level's labels move —
     # into the shared scratch, legal here because no tasks are in
     # flight (the window below is always drained before returning).
+    # Batches ride alongside their futures so a worker crash or
+    # watchdog timeout can replay exactly the outstanding work after
+    # the pool heals; when the retry budget runs out the remaining
+    # batches finish in-process — same candidates, same order.
     shared.set_level(base_labels)
+    pool = shared.pool
     batches = surviving_batches()
-    window: List[Future] = []
+    window: List[Tuple[np.ndarray, Future]] = []
+    replay: List[np.ndarray] = []
+    attempt = 0
     try:
         exhausted = False
         while True:
-            while not exhausted and len(window) < shared.workers * 2:
-                batch = next(batches, None)
-                if batch is None:
-                    exhausted = True
-                    break
-                window.append(shared.submit(batch))
-            if not window:
+            unsubmitted: Optional[np.ndarray] = None
+            try:
+                while (replay or not exhausted) and len(window) < shared.workers * 2:
+                    if replay:
+                        batch = replay.pop(0)
+                    else:
+                        batch = next(batches, None)
+                        if batch is None:
+                            exhausted = True
+                            break
+                    unsubmitted = batch
+                    window.append((batch, shared.submit(batch)))
+                    unsubmitted = None
+                if not window:
+                    return (None, improving)
+                head_batch, head = window[0]
+                with measure("closure"):
+                    hits = head.result(timeout=pool.task_timeout)
+                window.pop(0)
+                attempt = 0
+            except RECOVERABLE_POOL_ERRORS as exc:
+                pool.resilience.note_fault(exc)
+                outstanding = [batch for batch, _ in window]
+                if unsubmitted is not None:
+                    outstanding.append(unsubmitted)
+                window = []
+                attempt += 1
+                if pool.attempt_recovery("closure_batch", attempt):
+                    replay = outstanding + replay
+                    continue
+                # Degraded: close the outstanding and remaining batches
+                # in-process, preserving candidate order.
+                for batch in outstanding + replay:
+                    with measure("closure"):
+                        hits = _evaluate_pair_batch(
+                            quotient, weak_pair, batch, first_mode
+                        )
+                    for _, closed in hits:
+                        candidate = record(closed)
+                        if first_mode:
+                            return (candidate, improving)
+                for batch in batches:
+                    with measure("closure"):
+                        hits = _evaluate_pair_batch(
+                            quotient, weak_pair, batch, first_mode
+                        )
+                    for _, closed in hits:
+                        candidate = record(closed)
+                        if first_mode:
+                            return (candidate, improving)
                 return (None, improving)
-            head = window.pop(0)
-            with measure("closure"):
-                hits = head.result()
             for _, closed in hits:
                 candidate = record(closed)
                 if first_mode:
@@ -582,10 +638,10 @@ def _scan_level_sparse(
         # On early return (first hit) cancel what never started and wait
         # out what did: the next set_level must not race a worker that
         # still reads this level's labels.
-        for future in window:
+        for _batch, future in window:
             future.cancel()
         if window:
-            _wait_futures(window)
+            _wait_futures([future for _batch, future in window])
 
 
 def _scan_level_dense(
@@ -972,6 +1028,11 @@ def generate_fusion(
         )
     finally:
         if pool is not None:
+            # Fold the self-healing layer's outcome into the stopwatch:
+            # benchmark records surface it as ``resilience_stats``, the
+            # way prune outcomes surface as ``prune_stats``.
+            if stopwatch is not None:
+                stopwatch.accumulate("resilience", **pool.resilience.as_counters())
             pool.close()
 
 

@@ -298,46 +298,52 @@ class CrossProduct:
         index_dtype = narrow_index_dtype(max(sizes))
 
         def frontier_keys_pooled(frontier: np.ndarray) -> np.ndarray:
+            # One self-healing wave per BFS level: on a worker crash the
+            # pool respawns the published buffers and the wave replays
+            # (re-reading meta, rewriting the frontier scratch); past
+            # the retry budget the level — and, with ``pool.usable`` now
+            # False, every later level — falls back to the serial pass.
             nonlocal bundle, scratch
-            if bundle is None or bundle.closed:
-                columns = np.zeros(
-                    (num_events, num_components, max(sizes)), dtype=index_dtype
+
+            def explore_wave() -> List:
+                nonlocal bundle, scratch
+                if bundle is None or bundle.closed:
+                    columns = np.zeros(
+                        (num_events, num_components, max(sizes)), dtype=index_dtype
+                    )
+                    for ei, cols in enumerate(event_columns):
+                        for ci, col in enumerate(cols):
+                            if col is None:
+                                columns[ei, ci, : sizes[ci]] = np.arange(
+                                    sizes[ci], dtype=index_dtype
+                                )
+                            else:
+                                columns[ei, ci, : sizes[ci]] = col
+                    bundle = pool.publish(
+                        {"columns": columns, "multipliers": multipliers}
+                    )
+                if scratch is None:
+                    scratch = SharedScratch(pool, dtype=index_dtype)
+                num_frontier = frontier.shape[0]
+                scratch_meta, _written = scratch.write(
+                    frontier.astype(index_dtype).ravel()
                 )
-                for ei, cols in enumerate(event_columns):
-                    for ci, col in enumerate(cols):
-                        if col is None:
-                            columns[ei, ci, : sizes[ci]] = np.arange(
-                                sizes[ci], dtype=index_dtype
-                            )
-                        else:
-                            columns[ei, ci, : sizes[ci]] = col
-                bundle = pool.publish(
-                    {"columns": columns, "multipliers": multipliers}
+                slices = pool.workers * 2
+                bounds = sorted(
+                    {(i * num_frontier) // slices for i in range(slices)}
+                    | {num_frontier}
                 )
-            if scratch is None:
-                scratch = SharedScratch(pool, dtype=index_dtype)
-            num_frontier = frontier.shape[0]
-            scratch_meta, _written = scratch.write(
-                frontier.astype(index_dtype).ravel()
-            )
-            slices = pool.workers * 2
-            bounds = sorted(
-                {(i * num_frontier) // slices for i in range(slices)}
-                | {num_frontier}
-            )
-            futures = [
-                pool.submit(
-                    _explore_keys_task, bundle.meta, scratch_meta,
-                    num_frontier, num_components, row_lo, row_hi,
-                )
-                for row_lo, row_hi in zip(bounds[:-1], bounds[1:])
-            ]
-            try:
-                slabs = [future.result() for future in futures]
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+                return [
+                    pool.submit(
+                        _explore_keys_task, bundle.meta, scratch_meta,
+                        num_frontier, num_components, row_lo, row_hi,
+                    )
+                    for row_lo, row_hi in zip(bounds[:-1], bounds[1:])
+                ]
+
+            slabs = pool.run_wave("bfs_shard", explore_wave)
+            if slabs is None:
+                return frontier_keys_serial(frontier)
             return np.concatenate(slabs, axis=0).reshape(-1)
 
         def decode_keys(keys: np.ndarray) -> np.ndarray:

@@ -36,14 +36,27 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .exceptions import FusionError
+from .exceptions import FusionError, PoolDegradedError
+from .resilience import (
+    RECOVERABLE_POOL_ERRORS,
+    ChaosSpec,
+    ResilienceConfig,
+    ResilienceStats,
+    chaos_from_env,
+    execute_chaos_fault,
+    forget_owned_segment,
+    register_owned_segment,
+    stage_of,
+)
 
 __all__ = [
     "SharedArrayBundle",
@@ -65,8 +78,10 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     (``PYTEST_CURRENT_TEST`` set), where the default is the serial path
     so test runs stay single-process and deterministic to debug.  Values
     of 0 or 1 mean serial; anything larger is capped at
-    :data:`_MAX_WORKERS`.  Parallel and serial evaluation are
-    byte-identical — workers only change wall-clock.
+    :data:`_MAX_WORKERS`; negative values are a configuration error and
+    raise :class:`FusionError` instead of being silently clamped to the
+    serial path.  Parallel and serial evaluation are byte-identical —
+    workers only change wall-clock.
     """
     if workers is None:
         env = os.environ.get("REPRO_FUSION_WORKERS", "").strip()
@@ -81,7 +96,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             workers = 0
         else:
             workers = os.cpu_count() or 1
-    return max(0, min(int(workers), _MAX_WORKERS))
+    workers = int(workers)
+    if workers < 0:
+        raise FusionError(
+            "worker count must be >= 0 (0/1 = serial), got %d; "
+            "check REPRO_FUSION_WORKERS or the workers= argument" % workers
+        )
+    return min(workers, _MAX_WORKERS)
 
 
 def _align(offset: int, alignment: int = 64) -> int:
@@ -141,6 +162,7 @@ class SharedArrayBundle:
             layout[name] = (array.dtype.str, tuple(array.shape), offset)
             offset += array.nbytes
         segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        register_owned_segment(segment.name)
         bundle = cls(segment, layout, owner=True)
         for name, array in sources.items():
             bundle.arrays[name][...] = array
@@ -181,6 +203,38 @@ class SharedArrayBundle:
         self._finalizer.detach()
         _cleanup_segment(self._segment, self._owner)
 
+    def respawn(self) -> None:
+        """Re-publish the same payload under a fresh segment name.
+
+        The self-healing path: after a worker crash the pool rebuilds
+        its executor and respawns every live bundle, because a hung or
+        half-dead worker may still map the old segment — a fresh name
+        guarantees replayed tasks attach clean mappings (and naturally
+        invalidates any worker-side memo keyed by segment name).  The
+        bundle object keeps its identity; only ``meta`` changes, which
+        is why owner-side call sites re-read ``bundle.meta`` at submit
+        time instead of caching it.
+        """
+        if self._closed:
+            raise FusionError("cannot respawn a closed SharedArrayBundle")
+        if not self._owner:
+            raise FusionError("only the owning side can respawn a bundle")
+        old_segment = self._segment
+        fresh = shared_memory.SharedMemory(create=True, size=old_segment.size)
+        register_owned_segment(fresh.name)
+        nbytes = min(len(fresh.buf), len(old_segment.buf))
+        fresh.buf[:nbytes] = old_segment.buf[:nbytes]
+        self._finalizer.detach()
+        _cleanup_segment(old_segment, owner=True)
+        self._segment = fresh
+        self.arrays = {
+            name: np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=fresh.buf, offset=offset
+            )
+            for name, (dtype, shape, offset) in self._layout.items()
+        }
+        self._finalizer = weakref.finalize(self, _cleanup_segment, fresh, True)
+
     def __enter__(self) -> "SharedArrayBundle":
         return self
 
@@ -198,6 +252,7 @@ def _cleanup_segment(segment: shared_memory.SharedMemory, owner: bool) -> None:
             segment.unlink()
         except Exception:  # already unlinked elsewhere
             pass
+        forget_owned_segment(segment.name)
 
 
 # ----------------------------------------------------------------------
@@ -246,11 +301,17 @@ def _drain_pending_closes() -> None:
         _PENDING_CLOSE.pop().close()
 
 
-def _task_shell(fn: Callable, *args):
+def _task_shell(chaos_fault, fn: Callable, *args):
     """Run one pool task; drains deferred unmaps first, when it is safe
     (no live task-local views of evicted segments can exist between
-    tasks — results are pickled before the next task starts)."""
+    tasks — results are pickled before the next task starts).
+
+    ``chaos_fault`` is the owner-drawn engine fault (or ``None``): it is
+    executed *before* the task body, so a killed worker never produced a
+    result and replaying the wave is byte-identical."""
     _drain_pending_closes()
+    if chaos_fault is not None:
+        execute_chaos_fault(chaos_fault)
     return fn(*args)
 
 
@@ -278,7 +339,12 @@ class SharedWorkerPool:
     each bundle backstops segment unlinking regardless.
     """
 
-    def __init__(self, max_workers: int) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        config: Optional[ResilienceConfig] = None,
+        chaos: Optional[ChaosSpec] = None,
+    ) -> None:
         if max_workers < 2:
             raise FusionError(
                 "a SharedWorkerPool needs at least 2 workers (got %d); "
@@ -288,6 +354,10 @@ class SharedWorkerPool:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._bundles: List[SharedArrayBundle] = []
         self._closed = False
+        self._degraded = False
+        self._config = config if config is not None else ResilienceConfig.from_env()
+        self._chaos = chaos if chaos is not None else chaos_from_env()
+        self.resilience = ResilienceStats()
 
     # ------------------------------------------------------------------
     @property
@@ -296,8 +366,14 @@ class SharedWorkerPool:
 
     @property
     def usable(self) -> bool:
-        """False once closed — callers then fall back to the serial path."""
-        return not self._closed
+        """False once closed or degraded — callers then fall back to the
+        serial path (which computes the same bytes)."""
+        return not self._closed and not self._degraded
+
+    @property
+    def task_timeout(self) -> Optional[float]:
+        """The per-task watchdog in seconds (``None`` = no watchdog)."""
+        return self._config.task_timeout
 
     def publish(self, arrays: Dict[str, np.ndarray]) -> SharedArrayBundle:
         """Create a bundle whose lifetime is tied to this pool."""
@@ -320,11 +396,132 @@ class SharedWorkerPool:
     def submit(self, fn: Callable, *args) -> Future:
         if self._closed:
             raise FusionError("cannot submit to a closed SharedWorkerPool")
+        if self._degraded:
+            raise PoolDegradedError(
+                "cannot submit to a degraded SharedWorkerPool; "
+                "check pool.usable and take the serial path"
+            )
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self._max_workers)
+        chaos_fault = None
+        if self._chaos is not None:
+            chaos_fault = self._chaos.draw(stage_of(fn))
+            if chaos_fault is not None:
+                self.resilience.chaos += 1
         # _task_shell drains the attach cache's deferred unmaps at the
         # task boundary — never mid-task, where live views would dangle.
-        return self._executor.submit(_task_shell, fn, *args)
+        return self._executor.submit(_task_shell, chaos_fault, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def heal(self) -> None:
+        """Rebuild the executor and re-publish every live bundle.
+
+        Called after a worker crash or watchdog timeout.  Workers are
+        hard-killed first (a hung worker never exits on its own), the
+        broken executor is discarded (a fresh one spawns lazily on the
+        next :meth:`submit`), and every live bundle respawns under a
+        fresh segment name so replayed tasks cannot race a half-dead
+        worker's stale mappings.
+        """
+        if self._closed:
+            raise FusionError("cannot heal a closed SharedWorkerPool")
+        self._discard_executor()
+        for bundle in self._bundles:
+            bundle.respawn()
+        self.resilience.rebuilds += 1
+        self.resilience.republished += len(self._bundles)
+
+    def degrade(self, stage: str) -> None:
+        """Give up on parallelism for the rest of this pool's lifetime.
+
+        The retry budget is exhausted: kill the workers, mark the pool
+        unusable (``usable`` turns False, so every later stage takes its
+        serial path) and record which stage degraded.  Bundles stay
+        alive until :meth:`close` — the owner side may still read them.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        self._discard_executor()
+        self.resilience.note_degraded(stage)
+
+    def run_wave(
+        self,
+        stage: str,
+        build_futures: Callable[[], List[Future]],
+        serial_fallback: Optional[Callable[[], object]] = None,
+    ):
+        """Submit one task wave and collect results, healing on faults.
+
+        ``build_futures`` is re-invoked on every attempt — it must
+        (re-)write scratch payloads and re-read bundle ``meta`` so a
+        replay sees the respawned segments.  On a recoverable fault
+        (worker crash, watchdog timeout) the pool heals, backs off
+        exponentially and replays, up to the configured retry budget;
+        past it the stage degrades and ``serial_fallback`` (when given)
+        supplies the result — byte-identical because every pooled stage
+        is a pure function of the published arrays and the batch.
+        Returns ``None`` after degradation when no fallback is given.
+        """
+        attempt = 0
+        while self.usable:
+            try:
+                futures = build_futures()
+                return self._collect_wave(futures)
+            except RECOVERABLE_POOL_ERRORS as exc:
+                self.resilience.note_fault(exc)
+                attempt += 1
+                if not self.attempt_recovery(stage, attempt):
+                    break
+        return serial_fallback() if serial_fallback is not None else None
+
+    def attempt_recovery(self, stage: str, attempt: int) -> bool:
+        """Heal and back off for retry ``attempt``; False = degraded.
+
+        Exposed for call sites that manage their own futures (the
+        descent's streaming window) and cannot use :meth:`run_wave`.
+        """
+        if attempt > self._config.max_retries or not self.usable:
+            self.degrade(stage)
+            return False
+        time.sleep(self._config.backoff_seconds * (2 ** (attempt - 1)))
+        self.heal()
+        self.resilience.retries += 1
+        return True
+
+    def _collect_wave(self, futures: List[Future]) -> List[object]:
+        """Results in submission order, under the watchdog timeout."""
+        timeout = self._config.task_timeout
+        try:
+            return [future.result(timeout=timeout) for future in futures]
+        except RECOVERABLE_POOL_ERRORS:
+            # Infrastructure fault: the caller heals, which kills every
+            # worker — no in-flight task can race the replay's scratch
+            # rewrites, so there is nothing to wait for here.
+            raise
+        except BaseException:
+            # A genuine task exception: drain the wave before raising so
+            # no task is still reading a bundle the caller may unlink.
+            _futures_wait(futures)
+            raise
+
+    def _discard_executor(self) -> None:
+        """Hard-kill workers and drop the executor (best effort)."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken-pool teardown
+            pass
 
     def close(self) -> None:
         """Shut the executor down and unlink every live bundle."""
@@ -361,7 +558,7 @@ class SharedScratch:
     recreating with headroom only when a payload outgrows the capacity.
     """
 
-    __slots__ = ("_pool", "_dtype", "_headroom", "_bundle")
+    __slots__ = ("_pool", "_dtype", "_headroom", "_bundle", "_closed")
 
     def __init__(
         self,
@@ -373,6 +570,7 @@ class SharedScratch:
         self._dtype = np.dtype(dtype)
         self._headroom = float(headroom)
         self._bundle: Optional[SharedArrayBundle] = None
+        self._closed = False
 
     @property
     def capacity(self) -> int:
@@ -394,6 +592,8 @@ class SharedScratch:
         the threshold) recreates the segment, exactly like outgrowing
         the capacity does.
         """
+        if self._closed:
+            raise FusionError("cannot write to a closed SharedScratch")
         array = np.ascontiguousarray(array)
         if array.dtype != self._dtype:
             self._dtype = array.dtype
@@ -411,7 +611,12 @@ class SharedScratch:
         return self._bundle.meta, int(array.size)
 
     def close(self) -> None:
-        """Unlink the backing segment (safe to call repeatedly)."""
+        """Unlink the backing segment (safe to call repeatedly).
+
+        Further :meth:`write` calls raise :class:`FusionError` — a
+        retired scratch must never resurrect a segment mid-teardown.
+        """
+        self._closed = True
         if self._bundle is not None:
             self._pool.retire(self._bundle)
             self._bundle = None

@@ -76,7 +76,6 @@ Two cross-cutting implementation rules, established by measurement:
 
 from __future__ import annotations
 
-from concurrent.futures import wait as _wait_futures
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -645,16 +644,6 @@ def _merge_sorted_pair_task(
     return _dedup_sorted(np.sort(merged))
 
 
-def _collect_futures(futures) -> List[np.ndarray]:
-    """Results in submission order; on error, drain before raising (the
-    next wave rewrites the shared scratch, which must not race)."""
-    try:
-        return [future.result() for future in futures]
-    except BaseException:
-        _wait_futures(futures)
-        raise
-
-
 #: Minimum total elements before a merge fans out to the worker pool's
 #: pairwise tree; below it the owner's one-shot sort finishes faster
 #: than task round-trips.
@@ -673,20 +662,31 @@ def _pool_merge_tree(
     pair itself.  Set union is associative and duplicate values are
     identical, so the result is byte-identical to the serial fold for
     every worker count and every pairing.
+
+    Each round runs through the pool's self-healing wave runner: a
+    worker crash replays the round against respawned segments, and a
+    pool that degrades mid-fold simply leaves the remaining parts to
+    the owner's one-shot sort below — the same set union either way.
     """
     parts = [part for part in parts if part.size]
-    while len(parts) > 2:
-        flat = np.concatenate(parts)
-        meta, _written = scratch.write(flat)
-        bounds = np.cumsum([0] + [part.size for part in parts]).tolist()
-        futures = [
-            pool.submit(
-                _merge_sorted_pair_task,
-                meta, bounds[i], bounds[i + 1], bounds[i + 1], bounds[i + 2],
-            )
-            for i in range(0, len(parts) - 1, 2)
-        ]
-        merged = _collect_futures(futures)
+    while len(parts) > 2 and pool.usable:
+        current = parts
+
+        def merge_wave(current=current):
+            flat = np.concatenate(current)
+            meta, _written = scratch.write(flat)
+            bounds = np.cumsum([0] + [part.size for part in current]).tolist()
+            return [
+                pool.submit(
+                    _merge_sorted_pair_task,
+                    meta, bounds[i], bounds[i + 1], bounds[i + 1], bounds[i + 2],
+                )
+                for i in range(0, len(current) - 1, 2)
+            ]
+
+        merged = pool.run_wave("merge_fold", merge_wave)
+        if merged is None:
+            break
         if len(parts) % 2:
             merged.append(parts[-1])
         parts = merged
@@ -830,6 +830,7 @@ class LedgerBuilder:
         # small total runs serially rather than paying executor spawn,
         # the shared-memory publish and task round-trips.
         total_candidates = sum(estimate for _, _, _, estimate, _ in tasks)
+        parts: Optional[List[np.ndarray]] = None
         if (
             pool is not None
             and pool.usable
@@ -837,27 +838,40 @@ class LedgerBuilder:
             and len(tasks) > 1
             and total_candidates >= _POOL_MIN_CANDIDATES
         ):
-            if self._bundle is None or self._bundle.closed:
-                self._bundle = pool.publish({"labels": np.stack(label_list)})
-            meta = self._bundle.meta
-            futures = [
-                pool.submit(
-                    _ledger_leaf_task, meta, self._num_states, cap,
-                    context, remaining, excluded,
-                )
-                for context, remaining, _joined, _estimate, excluded in tasks
-            ]
-            # Leaves come back sorted (sorted on the workers); the
-            # pairwise merge tree shards the deduplicating fold over the
-            # same pool, and the owner only folds the final pair.
-            parts = [part for part in _collect_futures(futures) if part.size]
-            if len(parts) > 2 and sum(part.size for part in parts) >= _POOL_MIN_MERGE:
-                if self._scratch is None:
-                    self._scratch = SharedScratch(pool)
-                merged = _pool_merge_tree(pool, self._scratch, parts)
-                rows, cols, weights = _unpack_merged(merged, self._num_states, cap)
-                return PairLedger(self._num_states, cap, rows, cols, weights)
-        else:
+
+            def leaf_wave() -> List:
+                # Re-invoked per healing attempt: meta is re-read so a
+                # replay sees the respawned label segment.
+                if self._bundle is None or self._bundle.closed:
+                    self._bundle = pool.publish({"labels": np.stack(label_list)})
+                meta = self._bundle.meta
+                return [
+                    pool.submit(
+                        _ledger_leaf_task, meta, self._num_states, cap,
+                        context, remaining, excluded,
+                    )
+                    for context, remaining, _joined, _estimate, excluded in tasks
+                ]
+
+            collected = pool.run_wave("ledger_leaf", leaf_wave)
+            if collected is not None:
+                # Leaves come back sorted (sorted on the workers); the
+                # pairwise merge tree shards the deduplicating fold over
+                # the same pool, and the owner only folds the final pair.
+                parts = [part for part in collected if part.size]
+                if (
+                    len(parts) > 2
+                    and sum(part.size for part in parts) >= _POOL_MIN_MERGE
+                    and pool.usable
+                ):
+                    if self._scratch is None:
+                        self._scratch = SharedScratch(pool)
+                    merged = _pool_merge_tree(pool, self._scratch, parts)
+                    rows, cols, weights = _unpack_merged(merged, self._num_states, cap)
+                    return PairLedger(self._num_states, cap, rows, cols, weights)
+        if parts is None:
+            # Serial path — also the degradation target when the pool's
+            # retry budget is exhausted mid-build.
             parts = [
                 _leaf_pairs(
                     label_list, self._num_states, cap, context, remaining,
@@ -1608,7 +1622,8 @@ class DoomedPairEngine:
         # sort replaces the de-duplicating _sort_unique.
         dup_free = not bool((upper == lower).any())
         key_dtype = doomed.dtype
-        if not self._pool_ready(grand_total):
+
+        def serial_round() -> np.ndarray:
             fresh = np.empty(0, dtype=key_dtype)
             for event in run_events:
                 keys = _expand_backward_raw(index, event, upper, lower, key_dtype)
@@ -1620,30 +1635,47 @@ class DoomedPairEngine:
                 keys = np.sort(keys) if dup_free else _sort_unique(keys)
                 fresh = _merge_disjoint_sorted(fresh, keys)
             return fresh
+
+        if not self._pool_ready(grand_total):
+            return serial_round()
         pool = self._pool
-        index_meta = self._published_index(index)
         if self._scratch is None:
             self._scratch = SharedScratch(pool)
-        frontier_meta, written = self._scratch.write(
-            np.concatenate((frontier, doomed))
-        )
-        doomed_len = written - frontier.size
-        target = max(grand_total // (pool.workers * 2), 1)
-        futures = []
-        for event in run_events:
-            totals = totals_by_event[event]
-            grand = int(totals.sum())
-            bounds = _balanced_cuts(totals, max(1, grand // target))
-            for lo, hi in zip(bounds[:-1], bounds[1:]):
-                futures.append(
-                    pool.submit(
-                        _prune_backward_task,
-                        index_meta, frontier_meta, int(frontier.size),
-                        int(doomed_len), event, int(lo), int(hi), dup_free,
+
+        def expand_wave() -> List:
+            # Re-invoked per healing attempt: the index meta is re-read
+            # and the frontier payload rewritten, so a replay targets
+            # the respawned segments.
+            index_meta = self._published_index(index)
+            frontier_meta, written = self._scratch.write(
+                np.concatenate((frontier, doomed))
+            )
+            doomed_len = written - frontier.size
+            target = max(grand_total // (pool.workers * 2), 1)
+            futures = []
+            for event in run_events:
+                totals = totals_by_event[event]
+                grand = int(totals.sum())
+                bounds = _balanced_cuts(totals, max(1, grand // target))
+                for lo, hi in zip(bounds[:-1], bounds[1:]):
+                    futures.append(
+                        pool.submit(
+                            _prune_backward_task,
+                            index_meta, frontier_meta, int(frontier.size),
+                            int(doomed_len), event, int(lo), int(hi), dup_free,
+                        )
                     )
-                )
-        parts = [part for part in _collect_futures(futures) if part.size]
-        if len(parts) > 2 and sum(part.size for part in parts) >= _POOL_MIN_MERGE:
+            return futures
+
+        collected = pool.run_wave("prune_shard", expand_wave)
+        if collected is None:
+            return serial_round()
+        parts = [part for part in collected if part.size]
+        if (
+            len(parts) > 2
+            and sum(part.size for part in parts) >= _POOL_MIN_MERGE
+            and pool.usable
+        ):
             # Workers pre-filtered every part against the published
             # doomed set, so the tree's set union *is* the fresh set.
             return _pool_merge_tree(pool, self._scratch, parts)
@@ -1656,20 +1688,28 @@ class DoomedPairEngine:
         if not self._pool_ready(forward_cost):
             return _forward_sweep(index, doomed, 0, num_blocks)
         pool = self._pool
-        index_meta = self._published_index(index)
         if self._scratch is None:
             self._scratch = SharedScratch(pool)
-        doomed_meta, doomed_len = self._scratch.write(doomed)
-        row_weights = np.arange(num_blocks - 1, 0, -1, dtype=np.int64)
-        bounds = _balanced_cuts(row_weights, pool.workers * 2)
-        futures = [
-            pool.submit(
-                _prune_forward_task,
-                index_meta, doomed_meta, int(doomed_len), int(lo), int(hi),
-            )
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-        ]
-        parts = [part for part in _collect_futures(futures) if part.size]
+
+        def forward_wave() -> List:
+            index_meta = self._published_index(index)
+            doomed_meta, doomed_len = self._scratch.write(doomed)
+            row_weights = np.arange(num_blocks - 1, 0, -1, dtype=np.int64)
+            bounds = _balanced_cuts(row_weights, pool.workers * 2)
+            return [
+                pool.submit(
+                    _prune_forward_task,
+                    index_meta, doomed_meta, int(doomed_len), int(lo), int(hi),
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+
+        collected = pool.run_wave(
+            "prune_shard",
+            forward_wave,
+            serial_fallback=lambda: [_forward_sweep(index, doomed, 0, num_blocks)],
+        )
+        parts = [part for part in collected if part.size]
         if not parts:
             return np.empty(0, dtype=doomed.dtype)
         # Row ranges are disjoint and streamed in condensed order, so

@@ -10,21 +10,46 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.exceptions import SimulationError
 from ..core.types import StateLabel
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.resilience import ChaosSpec
+
 __all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]
 
 
 class FaultKind(enum.Enum):
-    """The two fault classes of the paper's system model."""
+    """Every fault class the repo can inject.
+
+    ``CRASH`` and ``BYZANTINE`` are the paper's system-model faults,
+    scheduled against simulated servers by :class:`FaultPlan`.  The
+    remaining kinds target the *engine* running the fusion computation —
+    they mirror :class:`repro.core.resilience.EngineFaultKind` (values
+    match member for member) and are injected into pool workers via
+    :meth:`FaultInjector.engine_chaos`, never into simulated servers.
+    """
 
     CRASH = "crash"
     BYZANTINE = "byzantine"
+    WORKER_KILL = "worker_kill"
+    TASK_HANG = "task_hang"
+    SLOW_TASK = "slow_task"
+
+    @property
+    def targets_engine(self) -> bool:
+        """True for faults aimed at pool workers, not simulated servers."""
+        return self in _ENGINE_KINDS
+
+
+_SERVER_KINDS = frozenset({FaultKind.CRASH, FaultKind.BYZANTINE})
+_ENGINE_KINDS = frozenset(
+    {FaultKind.WORKER_KILL, FaultKind.TASK_HANG, FaultKind.SLOW_TASK}
+)
 
 
 @dataclass(frozen=True)
@@ -61,6 +86,13 @@ class FaultPlan:
         servers = [e.server for e in self.events]
         if len(set(servers)) != len(servers):
             raise SimulationError("a fault plan may fail each server at most once")
+        misdirected = [e for e in self.events if e.kind not in _SERVER_KINDS]
+        if misdirected:
+            raise SimulationError(
+                "engine faults (%s) cannot be scheduled against servers; "
+                "use FaultInjector.engine_chaos instead"
+                % ", ".join(sorted({e.kind.value for e in misdirected}))
+            )
 
     @property
     def crash_count(self) -> int:
@@ -161,3 +193,36 @@ class FaultInjector:
                 )
             )
         return FaultPlan(tuple(events))
+
+    # ------------------------------------------------------------------
+    def engine_chaos(
+        self,
+        seed: int,
+        worker_kill: float = 0.0,
+        task_hang: float = 0.0,
+        slow_task: float = 0.0,
+        stages: Optional[Sequence[str]] = None,
+        max_faults: Optional[int] = None,
+    ) -> "ChaosSpec":
+        """A seeded chaos plan for the *engine* (pool workers).
+
+        Engine faults — :data:`FaultKind.WORKER_KILL` / ``TASK_HANG`` /
+        ``SLOW_TASK`` — strike the processes computing the fusion rather
+        than the simulated servers, so they live in a
+        :class:`repro.core.resilience.ChaosSpec` handed to
+        ``generate_fusion``'s worker pool instead of a :class:`FaultPlan`.
+        The spec's draws are deterministic in ``seed``, exactly like
+        :meth:`random_plan` is in the injector's seed.
+        """
+        from ..core.resilience import ChaosSpec, EngineFaultKind
+
+        return ChaosSpec(
+            {
+                EngineFaultKind.WORKER_KILL: worker_kill,
+                EngineFaultKind.TASK_HANG: task_hang,
+                EngineFaultKind.SLOW_TASK: slow_task,
+            },
+            stages=tuple(stages) if stages is not None else None,
+            max_faults=max_faults,
+            seed=seed,
+        )

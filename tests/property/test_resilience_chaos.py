@@ -1,0 +1,149 @@
+"""Chaos-injection property tests for the self-healing parallel engine.
+
+The acceptance contract of the resilience layer: a seeded ``REPRO_CHAOS``
+plan kills a worker at least once in **each** pooled stage — ledger leaf
+joins, SP-closure batches, prune-round shards, merge-tree folds and BFS
+frontier shards — and the recovered fusion output stays byte-identical
+to the serial run, with zero ``/dev/shm`` segments left behind and the
+recovery recorded in the ``resilience`` stopwatch stage (the benchmark
+records' ``resilience_stats`` block).
+
+Soundness of the replay is by construction: every pooled stage is a pure
+function of published read-only arrays plus a picklable batch, so waves
+replayed against respawned segments produce the same bytes, and the
+serial degradation path *is* the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.fault_graph as fault_graph_module
+import repro.core.fusion as fusion_module
+import repro.core.product as product_module
+import repro.core.sparse as sparse_module
+from repro.core.fusion import generate_fusion
+from repro.core.resilience import KNOWN_STAGES, live_owned_segments
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+@pytest.fixture()
+def open_gates(monkeypatch):
+    """Force every pooled stage on a test-sized machine set.
+
+    The production gates only decide *routing* (serial vs pool), never
+    results, so opening them preserves byte-identity while making the
+    counters-6 fusion submit work in all five stages (verified by the
+    stage-coverage assertion below).
+    """
+    monkeypatch.setattr(sparse_module, "_POOL_MIN_CANDIDATES", 0)
+    monkeypatch.setattr(sparse_module, "_POOL_MIN_MERGE", 0)
+    monkeypatch.setattr(sparse_module, "_PRUNE_POOL_MIN_EXPAND", 0)
+    monkeypatch.setattr(fusion_module, "_POOL_MIN_SURVIVORS", -(1 << 62))
+    monkeypatch.setattr(fusion_module, "_PRUNE_AFTER_FAILURES", 0)
+    monkeypatch.setattr(fusion_module, "DESCENT_SPARSE_CUTOFF", 1)
+    monkeypatch.setattr(fault_graph_module, "SPARSE_STATE_CUTOFF", 1)
+    monkeypatch.setattr(product_module, "_EXPLORE_POOL_MIN_FRONTIER", 2)
+
+
+def _run_with_chaos(monkeypatch, chaos: str, timeout: str = ""):
+    monkeypatch.setenv("REPRO_CHAOS", chaos)
+    if timeout:
+        monkeypatch.setenv("REPRO_FUSION_TASK_TIMEOUT", timeout)
+    watch = Stopwatch()
+    result = generate_fusion(_counters(6), f=1, workers=2, stopwatch=watch)
+    return result, watch.extras("resilience")
+
+
+def _assert_identical(result, reference):
+    assert result.summary() == reference.summary()
+    assert [tuple(p.labels) for p in result.partitions] == [
+        tuple(p.labels) for p in reference.partitions
+    ]
+    for ours, theirs in zip(result.backups, reference.backups):
+        assert np.array_equal(ours.transition_table, theirs.transition_table)
+
+
+class TestChaosRecovery:
+    def test_stage_vocabulary_is_complete(self):
+        assert set(KNOWN_STAGES) == {
+            "ledger_leaf", "closure_batch", "prune_shard", "merge_fold", "bfs_shard",
+        }
+
+    @pytest.mark.parametrize("stage", sorted(KNOWN_STAGES))
+    def test_worker_kill_in_each_stage_recovers_byte_identical(
+        self, stage, open_gates, monkeypatch
+    ):
+        """The acceptance criterion, per stage: one seeded SIGKILL lands
+        on a task of exactly this stage; the pool heals, replays, and
+        the fusion equals the serial run with no /dev/shm leak."""
+        reference = generate_fusion(_counters(6), f=1)
+        result, stats = _run_with_chaos(
+            monkeypatch, "worker_kill=1.0,stages=%s,max=1,seed=7" % stage
+        )
+        _assert_identical(result, reference)
+        assert stats["chaos"] >= 1, "the chaos plan never fired in %s" % stage
+        assert stats["crashes"] >= 1, "no worker crash was observed"
+        assert stats["rebuilds"] >= 1 and stats["retries"] >= 1
+        assert stats["degraded"] == 0, "a single kill must heal, not degrade"
+        assert live_owned_segments() == ()
+
+    def test_task_hang_recovered_by_watchdog(self, open_gates, monkeypatch):
+        """A hung task trips ``REPRO_FUSION_TASK_TIMEOUT``; the pool
+        kills the stuck workers, heals and replays."""
+        reference = generate_fusion(_counters(6), f=1)
+        result, stats = _run_with_chaos(
+            monkeypatch,
+            "task_hang=1.0,stages=ledger_leaf,max=1,seed=3,hang_s=60",
+            timeout="2.0",
+        )
+        _assert_identical(result, reference)
+        assert stats["timeouts"] >= 1
+        assert stats["rebuilds"] >= 1
+        assert live_owned_segments() == ()
+
+    def test_slow_tasks_change_nothing_but_wall_clock(self, open_gates, monkeypatch):
+        reference = generate_fusion(_counters(6), f=1)
+        result, stats = _run_with_chaos(
+            monkeypatch, "slow_task=0.5,max=4,seed=11,slow_s=0.01"
+        )
+        _assert_identical(result, reference)
+        assert stats["chaos"] >= 1
+        assert stats["crashes"] == 0 and stats["degraded"] == 0
+        assert live_owned_segments() == ()
+
+    def test_unbounded_kills_degrade_to_serial_mid_fusion(
+        self, open_gates, monkeypatch
+    ):
+        """With every task of one stage killed (no ``max`` bound), the
+        retry budget runs out and the stage degrades — the fusion still
+        completes serially with identical bytes, and the degradation is
+        recorded in ``resilience_stats``."""
+        reference = generate_fusion(_counters(6), f=1)
+        monkeypatch.setenv("REPRO_FUSION_MAX_RETRIES", "1")
+        result, stats = _run_with_chaos(
+            monkeypatch, "worker_kill=1.0,stages=ledger_leaf,seed=5"
+        )
+        _assert_identical(result, reference)
+        assert stats["degraded"] >= 1
+        assert stats["crashes"] >= 2  # initial fault + the exhausted retry
+        assert live_owned_segments() == ()
+
+    def test_chaos_plan_is_seed_deterministic(self, open_gates, monkeypatch):
+        """Same seed, same spec ⇒ identical resilience counters."""
+        runs = []
+        for _ in range(2):
+            _result, stats = _run_with_chaos(
+                monkeypatch, "worker_kill=1.0,stages=prune_shard,max=1,seed=9"
+            )
+            runs.append(stats)
+        assert runs[0] == runs[1]

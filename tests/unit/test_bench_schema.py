@@ -18,6 +18,10 @@ PRUNE_STATS_FIELDS = (
     "calls", "rounds", "forward_rounds", "spent", "truncated", "seeded",
 )
 
+RESILIENCE_STATS_FIELDS = (
+    "crashes", "timeouts", "rebuilds", "republished", "retries", "degraded", "chaos",
+)
+
 _ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 BENCH_PATH = os.path.join(_ROOT, "BENCH_perf.json")
 
@@ -28,7 +32,7 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/3"
+    assert _payload()["schema"] == "repro-bench-perf/4"
 
 
 def test_every_stage_carries_consistent_exclusive_seconds():
@@ -75,6 +79,27 @@ def test_every_case_carries_prune_stats():
             assert stats["rounds"] == 0 and stats["spent"] == 0
         else:
             assert stats["spent"] > 0
+
+
+def test_every_case_carries_resilience_stats():
+    """Schema v4: the self-healing layer's counters travel with the case.
+
+    A committed trajectory must come from a healthy run: no crashes, no
+    watchdog timeouts, no degradations and no chaos injection — the
+    block's purpose is to make any such activity impossible to miss.
+    """
+    cases = _payload()["cases"]
+    for name, record in cases.items():
+        stats = record.get("resilience_stats")
+        assert stats is not None, "%s is missing resilience_stats" % name
+        assert sorted(stats) == sorted(RESILIENCE_STATS_FIELDS), name
+        for field in RESILIENCE_STATS_FIELDS:
+            assert isinstance(stats[field], int), (name, field)
+            assert stats[field] == 0, (
+                "%s recorded resilience activity (%s=%d); committed "
+                "trajectories must come from fault-free runs"
+                % (name, field, stats[field])
+            )
 
 
 def test_flagship_mix_case_is_recorded_untruncated():

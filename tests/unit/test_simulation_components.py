@@ -190,6 +190,60 @@ class TestFaultPlans:
         plan = injector.random_plan(1, 0, 5, eligible=["c"])
         assert plan.servers == ("c",)
 
+    def test_random_plan_same_seed_identical(self):
+        servers = ["a", "b", "c", "d", "e"]
+        plans = [
+            FaultInjector(servers, seed=17).random_plan(
+                num_crash=2, num_byzantine=2, workload_length=20
+            )
+            for _ in range(2)
+        ]
+        assert plans[0].events == plans[1].events
+
+    def test_random_plan_counts_and_bounds_hold_across_seeds(self):
+        servers = ["s%d" % i for i in range(6)]
+        for seed in range(8):
+            plan = FaultInjector(servers, seed=seed).random_plan(
+                num_crash=2, num_byzantine=3, workload_length=12
+            )
+            assert plan.crash_count == 2
+            assert plan.byzantine_count == 3
+            assert len(set(plan.servers)) == 5
+            assert all(0 <= event.after_event <= 12 for event in plan.events)
+
+    def test_faults_after_partitions_the_plan(self):
+        plan = FaultInjector(["a", "b", "c"], seed=4).random_plan(
+            num_crash=2, num_byzantine=1, workload_length=6
+        )
+        recovered = []
+        for index in range(0, 7):
+            batch = plan.faults_after(index)
+            assert all(event.after_event == index for event in batch)
+            recovered.extend(batch)
+        assert sorted(recovered, key=lambda e: e.server) == sorted(
+            plan.events, key=lambda e: e.server
+        )
+
+    def test_engine_faults_rejected_in_server_plans(self):
+        with pytest.raises(SimulationError, match="engine_chaos"):
+            FaultPlan((FaultEvent("a", FaultKind.WORKER_KILL, 0),))
+
+    def test_engine_chaos_builder_matches_chaos_spec(self):
+        from repro.core.resilience import ChaosSpec
+
+        injector = FaultInjector(["a", "b"], seed=0)
+        spec = injector.engine_chaos(
+            seed=7, worker_kill=1.0, stages=["ledger_leaf"], max_faults=1
+        )
+        assert isinstance(spec, ChaosSpec)
+        assert spec.active
+        assert FaultKind.WORKER_KILL.targets_engine
+        assert not FaultKind.CRASH.targets_engine
+        # Same seed as the env-spec path, same deterministic draws.
+        reference = ChaosSpec.parse("worker_kill=1.0,stages=ledger_leaf,max=1,seed=7")
+        assert spec.draw("ledger_leaf") == reference.draw("ledger_leaf")
+        assert spec.draw("ledger_leaf") is None and reference.draw("ledger_leaf") is None
+
 
 class TestClientsAndEnvironment:
     def test_client_sequence(self):
