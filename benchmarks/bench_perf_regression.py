@@ -67,6 +67,15 @@ faults, as counted by the self-healing layer
 (:mod:`repro.core.resilience`).  All-zero in a healthy serial or
 parallel run — the block exists so any recovery activity during a
 benchmark shows up in the trajectory instead of only in the wall-clock.
+
+Schema ``repro-bench-perf/5`` (PR 7) adds a top-level ``runtime`` block
+recorded by ``benchmarks/bench_runtime_throughput.py``: streaming
+events/sec of the vectorized execution engine at 10^5–10^6 concurrent
+instances plus batched Algorithm-3 recovery latency under injected
+crash/Byzantine faults.  The two harnesses write the same file without
+clobbering each other: this one preserves an existing ``runtime`` block
+when it rewrites the fusion ``cases``, and the throughput harness only
+replaces ``runtime``.
 """
 
 from __future__ import annotations
@@ -119,6 +128,11 @@ def _mesi_counters_mix(size: int):
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_perf.json"
 )
+
+#: Current payload schema, shared with ``bench_runtime_throughput.py``
+#: (which contributes the top-level ``runtime`` block) and asserted
+#: against the committed file by ``tests/unit/test_bench_schema.py``.
+SCHEMA = "repro-bench-perf/5"
 
 #: Wall-clock seconds at the seed commit (pre-PR dense/Python engine),
 #: measured on the reference container.  ``counters-6`` had no pre-PR
@@ -373,7 +387,7 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
     _warm_up()
     cases = {name: run_case(name, rounds=rounds) for name in CASES}
     return {
-        "schema": "repro-bench-perf/4",
+        "schema": SCHEMA,
         "note": (
             "Wall-clock seconds per Algorithm-2 workload with per-stage "
             "breakdown (inclusive seconds plus nesting-corrected "
@@ -382,7 +396,10 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
             "timeouts/rebuilds/retries/degraded/chaos, all-zero in a "
             "healthy run). pre_pr_seconds pins the seed-commit engine "
             "on the reference container; regenerate with "
-            "PYTHONPATH=src python benchmarks/bench_perf_regression.py"
+            "PYTHONPATH=src python benchmarks/bench_perf_regression.py. "
+            "The top-level runtime block is the streaming engine's "
+            "throughput/recovery-latency trajectory, written by "
+            "benchmarks/bench_runtime_throughput.py"
         ),
         "cases": cases,
     }
@@ -390,6 +407,13 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
 
 def write_results(rounds: int = 1, path: str = RESULT_PATH) -> Dict[str, object]:
     payload = run_suite(rounds=rounds)
+    # Preserve the streaming-runtime trajectory contributed by
+    # bench_runtime_throughput.py; only the fusion cases are re-measured.
+    if os.path.exists(path):
+        with open(path) as handle:
+            previous = json.load(handle)
+        if "runtime" in previous:
+            payload["runtime"] = previous["runtime"]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -57,6 +57,8 @@ from .core import (
     InvalidMachineError,
     NotComparableError,
     Partition,
+    BatchOutcome,
+    BatchRecovery,
     PartitionError,
     PoolDegradedError,
     RecoveryEngine,
@@ -71,6 +73,7 @@ from .core import (
     SimulationError,
     UnknownEventError,
     UnknownStateError,
+    VectorizedRuntime,
     are_equivalent,
     basis,
     build_fault_graph,
@@ -103,6 +106,7 @@ from .core import (
     minimum_backups_required,
     partition_from_machine,
     reachable_cross_product,
+    recover_fleet,
     recover_top_state,
     remove_unreachable,
     replicate,
@@ -129,9 +133,12 @@ __all__ = [
     "FusionResult",
     "PairLedger",
     "Partition",
+    "BatchOutcome",
+    "BatchRecovery",
     "RecoveryEngine",
     "RecoveryOutcome",
     "ReplicatedSystem",
+    "VectorizedRuntime",
     # resilience
     "ChaosSpec",
     "ResilienceConfig",
@@ -184,6 +191,7 @@ __all__ = [
     "minimum_backups_required",
     "partition_from_machine",
     "reachable_cross_product",
+    "recover_fleet",
     "recover_top_state",
     "remove_unreachable",
     "replicate",

@@ -83,12 +83,14 @@ from .partition import (
     Partition,
     closed_coarsening,
     is_closed_partition,
+    machine_assignment,
     machine_from_partition,
     partition_from_machine,
     set_representation,
 )
 from .product import CrossProduct, merged_alphabet, reachable_cross_product
 from .recovery import RecoveryEngine, RecoveryOutcome, recover_top_state, vote_counts
+from .runtime import BatchOutcome, BatchRecovery, VectorizedRuntime, recover_fleet
 from .replication import (
     ReplicatedSystem,
     replicate,
@@ -108,6 +110,7 @@ __all__ = [
     "Partition",
     "closed_coarsening",
     "is_closed_partition",
+    "machine_assignment",
     "machine_from_partition",
     "partition_from_machine",
     "set_representation",
@@ -165,6 +168,11 @@ __all__ = [
     "RecoveryOutcome",
     "recover_top_state",
     "vote_counts",
+    # runtime
+    "BatchOutcome",
+    "BatchRecovery",
+    "VectorizedRuntime",
+    "recover_fleet",
     # replication
     "ReplicatedSystem",
     "replicate",

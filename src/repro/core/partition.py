@@ -41,6 +41,7 @@ __all__ = [
     "merge_blocks_and_close",
     "is_closed_partition",
     "set_representation",
+    "machine_assignment",
     "partition_from_machine",
     "machine_from_partition",
     "partition_from_projection",
@@ -519,15 +520,16 @@ def partition_from_projection(projection: Sequence[int]) -> Partition:
     return Partition(projection)
 
 
-def partition_from_machine(top: DFSM, machine: DFSM) -> Partition:
-    """Closed partition of ``top``'s states induced by ``machine`` (Algorithm 1).
+def machine_assignment(top: DFSM, machine: DFSM) -> np.ndarray:
+    """The raw lockstep assignment: top-state index -> machine-state index.
 
-    Both machines are run in lockstep from their initial states over
-    ``top``'s alphabet; top state ``t`` lands in the block identified by
-    the ``machine`` state reached alongside it.  If the lockstep walk ever
-    maps one top state to two different ``machine`` states, then
-    ``machine`` is **not** less than or equal to ``top`` and
-    :class:`NotComparableError` is raised.
+    This is the un-canonicalised form of :func:`partition_from_machine`:
+    entry ``t`` is the index (into ``machine.states``) of the state
+    ``machine`` reaches alongside top state ``t``.  The batched recovery
+    engine consumes it directly — the machine-state indices *are* the
+    information Algorithm 3 votes over, which block canonicalisation
+    would discard.  Raises :class:`NotComparableError` exactly when
+    ``machine`` is not ≤ ``top``.
     """
     n = top.num_states
     assignment = np.full(n, -1, dtype=np.int64)
@@ -567,7 +569,20 @@ def partition_from_machine(top: DFSM, machine: DFSM) -> Partition:
             "top machine %s has unreachable states; build it with reachable_cross_product"
             % top.name
         )
-    return Partition(assignment)
+    return assignment
+
+
+def partition_from_machine(top: DFSM, machine: DFSM) -> Partition:
+    """Closed partition of ``top``'s states induced by ``machine`` (Algorithm 1).
+
+    Both machines are run in lockstep from their initial states over
+    ``top``'s alphabet; top state ``t`` lands in the block identified by
+    the ``machine`` state reached alongside it.  If the lockstep walk ever
+    maps one top state to two different ``machine`` states, then
+    ``machine`` is **not** less than or equal to ``top`` and
+    :class:`NotComparableError` is raised.
+    """
+    return Partition(machine_assignment(top, machine))
 
 
 def set_representation(top: DFSM, machine: DFSM) -> Dict[StateLabel, FrozenSet[StateLabel]]:

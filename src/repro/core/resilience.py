@@ -92,15 +92,20 @@ _STAGE_BY_TASK = {
     "_prune_forward_task": "prune_shard",
     "_descent_level_task": "closure_batch",
     "_explore_keys_task": "bfs_shard",
+    "_runtime_stream_task": "runtime_step",
+    "_runtime_matrix_task": "runtime_step",
 }
 
 #: Every pooled stage (the chaos property suite kills a worker in each).
+#: The first five belong to offline fusion generation; ``runtime_step``
+#: is the streaming execution engine's gather wave.
 KNOWN_STAGES: Tuple[str, ...] = (
     "ledger_leaf",
     "merge_fold",
     "prune_shard",
     "closure_batch",
     "bfs_shard",
+    "runtime_step",
 )
 
 

@@ -17,8 +17,8 @@ from .events import (
     round_robin_workload,
 )
 from .faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
-from .server import Server, ServerStatus
-from .system import DistributedSystem, SimulationReport
+from .server import Server, ServerStatus, VectorServer
+from .system import DistributedSystem, SimulationReport, resolve_engine
 from .trace import ExecutionTrace, TraceRecord, TraceRecordKind
 
 __all__ = [
@@ -37,8 +37,10 @@ __all__ = [
     "FaultPlan",
     "Server",
     "ServerStatus",
+    "VectorServer",
     "DistributedSystem",
     "SimulationReport",
+    "resolve_engine",
     "ExecutionTrace",
     "TraceRecord",
     "TraceRecordKind",

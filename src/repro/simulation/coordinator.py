@@ -20,6 +20,7 @@ from ..core.exceptions import SimulationError
 from ..core.product import CrossProduct
 from ..core.recovery import RecoveryEngine, RecoveryOutcome
 from ..core.replication import ReplicatedSystem
+from ..core.runtime import BatchRecovery
 from ..core.types import StateLabel
 from .server import Server, ServerStatus
 
@@ -58,14 +59,38 @@ class FusionCoordinator:
         Reachable cross product of the original machines.
     backups:
         The fusion machines.
+    batch:
+        When true, Algorithm 3 runs through the batched array engine
+        (:class:`repro.core.runtime.BatchRecovery`) instead of the
+        per-instance dict engine — same outcomes, validated by the
+        equivalence property suite.  The :attr:`engine` property still
+        exposes a :class:`RecoveryEngine`, built lazily, for callers
+        that inspect blocks directly.
     """
 
-    def __init__(self, product: CrossProduct, backups: Sequence[DFSM]) -> None:
-        self._engine = RecoveryEngine(product, backups)
+    def __init__(
+        self,
+        product: CrossProduct,
+        backups: Sequence[DFSM],
+        batch: bool = False,
+    ) -> None:
+        self._product = product
+        self._backups = tuple(backups)
+        self._batch = BatchRecovery(product, backups) if batch else None
+        self._engine: Optional[RecoveryEngine] = (
+            None if batch else RecoveryEngine(product, backups)
+        )
 
     @property
     def engine(self) -> RecoveryEngine:
+        if self._engine is None:
+            self._engine = RecoveryEngine(self._product, self._backups)
         return self._engine
+
+    @property
+    def batch_recovery(self) -> Optional[BatchRecovery]:
+        """The batched vote engine when this coordinator was built with one."""
+        return self._batch
 
     def collect_reports(self, servers: Mapping[str, Server]) -> Dict[str, Optional[StateLabel]]:
         """Ask every server for its state (``None`` for crashed ones)."""
@@ -78,7 +103,8 @@ class FusionCoordinator:
     ) -> CoordinatorReport:
         """Run Algorithm 3 and restore every server to its correct state."""
         observations = self.collect_reports(servers)
-        outcome: RecoveryOutcome = self._engine.recover(
+        voter = self._batch if self._batch is not None else self.engine
+        outcome: RecoveryOutcome = voter.recover(
             observations, strict=True, expected_max_faults=max_faults
         )
         restored: Dict[str, StateLabel] = {}

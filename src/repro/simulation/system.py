@@ -18,6 +18,7 @@ Algorithm 3 recovery) and :meth:`DistributedSystem.with_replication`
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -28,13 +29,34 @@ from ..core.exceptions import SimulationError
 from ..core.fusion import FusionResult, generate_fusion
 from ..core.product import CrossProduct
 from ..core.replication import ReplicatedSystem
+from ..core.runtime import VectorizedRuntime
 from ..core.types import EventLabel, StateLabel
 from .coordinator import CoordinatorReport, FusionCoordinator, ReplicationCoordinator
 from .faults import FaultEvent, FaultKind, FaultPlan
-from .server import Server, ServerStatus
+from .server import Server, ServerStatus, VectorServer
 from .trace import ExecutionTrace
 
-__all__ = ["SimulationReport", "DistributedSystem"]
+__all__ = ["SimulationReport", "DistributedSystem", "resolve_engine"]
+
+
+#: The two execution engines a simulated system can step its servers
+#: through.  ``vectorized`` (the default) routes the event broadcast
+#: through :class:`repro.core.runtime.VectorizedRuntime` gathers and
+#: Algorithm 3 through the batched vote; ``python`` is the seed's
+#: per-server reference path, kept as the oracle the property suite
+#: compares against.
+ENGINES = ("vectorized", "python")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """The execution engine to use: explicit argument, else the
+    ``REPRO_SIM_ENGINE`` environment variable, else ``"vectorized"``."""
+    choice = engine or os.environ.get("REPRO_SIM_ENGINE", "").strip() or "vectorized"
+    if choice not in ENGINES:
+        raise SimulationError(
+            "unknown simulation engine %r (choose from %r)" % (choice, ENGINES)
+        )
+    return choice
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,7 @@ class DistributedSystem:
         backup_scheme: str,
         backup_state_space: int,
         max_faults: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if not originals:
             raise SimulationError("a distributed system needs at least one original machine")
@@ -102,9 +125,21 @@ class DistributedSystem:
             raise SimulationError("machine names must be unique across originals and backups")
         self._originals = tuple(originals)
         self._backups = tuple(backups)
-        self._servers: Dict[str, Server] = {
-            machine.name: Server(machine) for machine in list(originals) + list(backups)
-        }
+        self._engine = resolve_engine(engine)
+        machines = list(originals) + list(backups)
+        if self._engine == "vectorized":
+            # One fleet instance wide; the runtime stays serial (a pool
+            # only pays off at fleet scale — benchmarks build their own).
+            self._runtime: Optional[VectorizedRuntime] = VectorizedRuntime(
+                machines, num_instances=1, workers=1
+            )
+            self._servers: Dict[str, Server] = {
+                machine.name: VectorServer(machine, self._runtime, index)
+                for index, machine in enumerate(machines)
+            }
+        else:
+            self._runtime = None
+            self._servers = {machine.name: Server(machine) for machine in machines}
         self._coordinator = coordinator
         self._backup_scheme = backup_scheme
         self._backup_state_space = backup_state_space
@@ -122,6 +157,7 @@ class DistributedSystem:
         f: int,
         byzantine: bool = False,
         fusion: Optional[FusionResult] = None,
+        engine: Optional[str] = None,
     ) -> "DistributedSystem":
         """Build a system protected by Algorithm-2 fusion backups.
 
@@ -130,7 +166,10 @@ class DistributedSystem:
         """
         if fusion is None:
             fusion = generate_fusion(machines, f, byzantine=byzantine)
-        coordinator = FusionCoordinator(fusion.product, fusion.backups)
+        resolved = resolve_engine(engine)
+        coordinator = FusionCoordinator(
+            fusion.product, fusion.backups, batch=resolved == "vectorized"
+        )
         return cls(
             originals=fusion.originals,
             backups=fusion.backups,
@@ -138,11 +177,16 @@ class DistributedSystem:
             backup_scheme="fusion",
             backup_state_space=fusion.fusion_state_space,
             max_faults=fusion.f if not byzantine else fusion.byzantine_f,
+            engine=resolved,
         )
 
     @classmethod
     def with_replication(
-        cls, machines: Sequence[DFSM], f: int, byzantine: bool = False
+        cls,
+        machines: Sequence[DFSM],
+        f: int,
+        byzantine: bool = False,
+        engine: Optional[str] = None,
     ) -> "DistributedSystem":
         """Build a system protected by the replication baseline."""
         replicated = ReplicatedSystem(machines, f, byzantine=byzantine)
@@ -154,10 +198,13 @@ class DistributedSystem:
             backup_scheme="replication",
             backup_state_space=replicated.backup_state_space,
             max_faults=f,
+            engine=engine,
         )
 
     @classmethod
-    def unprotected(cls, machines: Sequence[DFSM]) -> "DistributedSystem":
+    def unprotected(
+        cls, machines: Sequence[DFSM], engine: Optional[str] = None
+    ) -> "DistributedSystem":
         """A system with no backups (recovery impossible; useful as a control)."""
         return cls(
             originals=machines,
@@ -166,6 +213,7 @@ class DistributedSystem:
             backup_scheme="none",
             backup_state_space=0,
             max_faults=0,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -186,6 +234,16 @@ class DistributedSystem:
     @property
     def backup_scheme(self) -> str:
         return self._backup_scheme
+
+    @property
+    def engine(self) -> str:
+        """Which execution engine steps the servers (see :data:`ENGINES`)."""
+        return self._engine
+
+    @property
+    def runtime(self) -> Optional[VectorizedRuntime]:
+        """The vectorized engine backing the servers (``None`` in python mode)."""
+        return self._runtime
 
     @property
     def trace(self) -> ExecutionTrace:
@@ -215,9 +273,19 @@ class DistributedSystem:
     # Execution
     # ------------------------------------------------------------------
     def apply_event(self, event: EventLabel) -> None:
-        """Broadcast one event of the global order to every server."""
-        for server in self._servers.values():
-            server.apply(event)
+        """Broadcast one event of the global order to every server.
+
+        In vectorized mode the step is one runtime gather across every
+        machine (true and visible states, crash/Byzantine semantics
+        included); the python engine loops over the servers.
+        """
+        if self._runtime is not None:
+            self._runtime.apply_stream([event])
+            for server in self._servers.values():
+                server.record_applied()
+        else:
+            for server in self._servers.values():
+                server.apply(event)
         self._steps += 1
         self._trace.record_event(self._steps, event)
 

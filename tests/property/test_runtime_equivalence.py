@@ -1,0 +1,157 @@
+"""Vectorized stepping ≡ per-instance DFSM stepping, at workers 1/2/4.
+
+The :class:`~repro.core.runtime.VectorizedRuntime` contract: packing N
+instances into state vectors and stepping them with transition-table
+gathers produces, instance for instance and machine for machine, exactly
+the states :meth:`repro.core.dfsm.DFSM.run` produces when each instance
+is stepped alone — shared broadcast streams (the composed-map fast path)
+and per-instance event matrices (the gather-per-step path) alike, and
+independently of whether the gathers run serially or sharded over a
+1/2/4-worker :class:`~repro.core.shm.SharedWorkerPool`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.runtime as runtime_module
+from repro.core.product import merged_alphabet
+from repro.core.runtime import VectorizedRuntime
+from repro.machines import mod_counter
+from repro.utils.rng import as_generator, derive_seed
+
+from .strategies import machine_set_strategy
+
+RELAXED = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _reference_states(machines, streams):
+    """Final state indices per (machine, instance), stepped one at a time."""
+    out = np.zeros((len(machines), len(streams)), dtype=np.int64)
+    for i, stream in enumerate(streams):
+        for m, machine in enumerate(machines):
+            out[m, i] = machine.state_index(machine.run(stream))
+    return out
+
+
+class TestSerialEquivalence:
+    @RELAXED
+    @given(data=st.data())
+    def test_shared_stream_matches_per_instance_runs(self, data):
+        machines = data.draw(machine_set_strategy(max_machines=3, max_states=3))
+        alphabet = merged_alphabet(machines) or (0,)
+        stream = data.draw(
+            st.lists(st.sampled_from(list(alphabet)), min_size=0, max_size=25)
+        )
+        num_instances = data.draw(st.integers(min_value=1, max_value=5))
+        with VectorizedRuntime(machines, num_instances, workers=1) as runtime:
+            runtime.apply_stream(stream)
+            expected = _reference_states(machines, [stream] * num_instances)
+            assert np.array_equal(runtime.visible_states, expected)
+            assert np.array_equal(runtime.true_states, expected)
+            assert runtime.is_consistent()
+
+    @RELAXED
+    @given(data=st.data())
+    def test_event_matrix_matches_per_instance_runs(self, data):
+        machines = data.draw(machine_set_strategy(max_machines=3, max_states=3))
+        alphabet = merged_alphabet(machines) or (0,)
+        num_instances = data.draw(st.integers(min_value=1, max_value=5))
+        num_steps = data.draw(st.integers(min_value=0, max_value=15))
+        streams = [
+            data.draw(
+                st.lists(
+                    st.sampled_from(list(alphabet)),
+                    min_size=num_steps,
+                    max_size=num_steps,
+                )
+            )
+            for _ in range(num_instances)
+        ]
+        with VectorizedRuntime(machines, num_instances, workers=1) as runtime:
+            if num_steps:
+                matrix = np.stack(
+                    [runtime.encode_events(s) for s in streams], axis=1
+                )
+                runtime.apply_event_matrix(matrix)
+            expected = _reference_states(machines, streams)
+            assert np.array_equal(runtime.visible_states, expected)
+
+    @RELAXED
+    @given(data=st.data())
+    def test_foreign_events_are_ignored_like_dfsm_step(self, data):
+        """Events outside a machine's alphabet leave it put — the global
+        tables' identity columns must reproduce DFSM.step exactly."""
+        machines = data.draw(machine_set_strategy(max_machines=3, max_states=3))
+        # Widen the stream alphabet past every machine's own events.
+        stream = data.draw(
+            st.lists(st.sampled_from([0, 1, "alien", "noise"]), max_size=20)
+        )
+        with VectorizedRuntime(machines, 3, workers=1) as runtime:
+            runtime.apply_stream(stream)
+            expected = _reference_states(machines, [stream] * 3)
+            assert np.array_equal(runtime.visible_states, expected)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+class TestWorkerEquivalence:
+    """The acceptance criterion: batch ≡ per-instance at workers 1/2/4.
+
+    The pool-minimum gate is opened so test-sized fleets actually shard;
+    routing (serial vs pooled, and the shard count) must never change
+    results.
+    """
+
+    def _machines(self, seed):
+        generator = as_generator(derive_seed(seed, "runtime-workers"))
+        size = int(generator.integers(3, 5))
+        events = tuple(range(size))
+        machines = [
+            mod_counter(
+                int(generator.integers(2, 4)),
+                count_event=e,
+                events=events,
+                name="w%d" % e,
+            )
+            for e in events
+        ]
+        return machines, events
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_event_matrix_equivalence(self, workers, seed, monkeypatch):
+        monkeypatch.setattr(runtime_module, "_RUNTIME_POOL_MIN_INSTANCES", 1)
+        machines, events = self._machines(seed)
+        generator = as_generator(derive_seed(seed, "runtime-workers", workers))
+        num_instances = 23
+        matrix = generator.integers(0, len(events), size=(12, num_instances))
+        streams = [list(matrix[:, i]) for i in range(num_instances)]
+        with VectorizedRuntime(machines, num_instances, workers=workers) as runtime:
+            runtime.apply_event_matrix(matrix)
+            expected = _reference_states(machines, streams)
+            assert np.array_equal(runtime.visible_states, expected)
+            assert np.array_equal(runtime.true_states, expected)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_shared_stream_equivalence_with_faults(self, workers, seed, monkeypatch):
+        """Crashed cells must stay frozen and true states keep moving,
+        identically on every worker count."""
+        monkeypatch.setattr(runtime_module, "_RUNTIME_POOL_MIN_INSTANCES", 1)
+        machines, events = self._machines(seed)
+        generator = as_generator(derive_seed(seed, "runtime-stream", workers))
+        num_instances = 17
+        stream = list(generator.integers(0, len(events), size=20))
+        crash_at = [int(x) for x in generator.choice(num_instances, 4, replace=False)]
+        with VectorizedRuntime(machines, num_instances, workers=workers) as pooled:
+            with VectorizedRuntime(machines, num_instances, workers=1) as serial:
+                for runtime in (pooled, serial):
+                    runtime.apply_stream(stream[:7])
+                    runtime.crash_instances(0, crash_at)
+                    runtime.apply_stream(stream[7:])
+                assert np.array_equal(pooled.visible_states, serial.visible_states)
+                assert np.array_equal(pooled.true_states, serial.true_states)
+                assert np.array_equal(pooled.statuses, serial.statuses)

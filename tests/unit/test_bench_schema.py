@@ -32,7 +32,33 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/4"
+    assert _payload()["schema"] == "repro-bench-perf/5"
+
+
+def test_runtime_block_records_fleet_scale_throughput():
+    """Schema v5: the streaming engine's trajectory travels with the file.
+
+    The committed trajectory must include a fleet of at least 10^5
+    instances with a plausible events/sec figure and *fault-injected*
+    recovery latency — both the crash and the Byzantine plan, each
+    verified to have round-tripped (recovery restored ground truth)
+    before the latency was recorded.
+    """
+    runtime = _payload().get("runtime")
+    assert runtime is not None, "BENCH_perf.json is missing the runtime block"
+    cases = runtime["cases"]
+    assert cases, "runtime block has no cases"
+    assert max(record["num_instances"] for record in cases.values()) >= 100_000
+    for name, record in cases.items():
+        assert record["events_per_sec"] > 0, name
+        assert record["broadcast_events_per_sec"] > 0, name
+        recovery = record["recovery"]
+        assert recovery["faulty_instances"] >= 1, name
+        for kind in ("crash", "byzantine"):
+            entry = recovery[kind]
+            assert entry["seconds"] > 0, (name, kind)
+            assert entry["consistent_after"] is True, (name, kind)
+            assert entry["faults"], (name, kind)
 
 
 def test_every_stage_carries_consistent_exclusive_seconds():
