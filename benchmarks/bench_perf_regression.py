@@ -76,6 +76,16 @@ crash/Byzantine faults.  The two harnesses write the same file without
 clobbering each other: this one preserves an existing ``runtime`` block
 when it rewrites the fusion ``cases``, and the throughput harness only
 replaces ``runtime``.
+
+Schema ``repro-bench-perf/6`` (PR 8) adds a top-level ``store`` block
+written by ``benchmarks/bench_store_smoke.py``: crash-durability
+evidence for the artifact store (:mod:`repro.io.store`) — a seeded
+``kill_between_levels`` SIGKILL mid-descent, the chaos-free resume that
+reclaimed the stale lock and replayed from the committed checkpoint
+byte-identically, and the warm-cache hit latency of a fully cached
+call that skipped ``product_build``, ``ledger_build`` and ``descent``.
+All three harnesses preserve each other's blocks; ``--check`` and
+``tests/unit/test_bench_schema.py`` validate the committed evidence.
 """
 
 from __future__ import annotations
@@ -130,9 +140,10 @@ RESULT_PATH = os.path.join(
 )
 
 #: Current payload schema, shared with ``bench_runtime_throughput.py``
-#: (which contributes the top-level ``runtime`` block) and asserted
+#: (which contributes the top-level ``runtime`` block) and
+#: ``bench_store_smoke.py`` (the top-level ``store`` block), asserted
 #: against the committed file by ``tests/unit/test_bench_schema.py``.
-SCHEMA = "repro-bench-perf/5"
+SCHEMA = "repro-bench-perf/6"
 
 #: Wall-clock seconds at the seed commit (pre-PR dense/Python engine),
 #: measured on the reference container.  ``counters-6`` had no pre-PR
@@ -261,6 +272,39 @@ PRUNE_STATS_FIELDS = (
 RESILIENCE_STATS_FIELDS = (
     "crashes", "timeouts", "rebuilds", "republished", "retries", "degraded", "chaos",
 )
+
+#: Fields the top-level ``store`` block must carry (schema
+#: ``repro-bench-perf/6``, written by ``bench_store_smoke.py``): the
+#: crash-recovery evidence plus the warm-cache hit latency.
+STORE_BLOCK_FIELDS = (
+    "case", "chaos", "byte_identical", "resume_seconds", "resume_stats",
+    "warm_hit_seconds", "warm_stages", "store_stats",
+)
+
+
+def store_block_is_consistent(block) -> bool:
+    """Schema-v6 invariants for the crash-durability evidence.
+
+    The block must attest a byte-identical resume that actually replayed
+    a committed checkpoint (``resumed_levels >= 1``) after reclaiming
+    the dead owner's lock, and a warm hit that recomputed none of
+    ``product_build`` / ``ledger_build`` / ``descent`` and committed
+    nothing.
+    """
+    if block is None or not all(field in block for field in STORE_BLOCK_FIELDS):
+        return False
+    if block["byte_identical"] is not True:
+        return False
+    if block["resume_stats"].get("resumed_levels", 0) < 1:
+        return False
+    if block["resume_stats"].get("stale_locks", 0) < 1:
+        return False
+    if not 0 < block["warm_hit_seconds"] < block["resume_seconds"]:
+        return False
+    if block["store_stats"].get("commits", 0) != 0:
+        return False
+    forbidden = {"product_build", "ledger_build", "descent"}
+    return not forbidden & set(block["warm_stages"])
 
 
 def stage_entries_are_consistent(stages: Dict[str, Dict[str, float]]) -> bool:
@@ -399,7 +443,10 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
             "PYTHONPATH=src python benchmarks/bench_perf_regression.py. "
             "The top-level runtime block is the streaming engine's "
             "throughput/recovery-latency trajectory, written by "
-            "benchmarks/bench_runtime_throughput.py"
+            "benchmarks/bench_runtime_throughput.py. The top-level store "
+            "block is the artifact store's crash-durability evidence "
+            "(SIGKILL mid-descent, byte-identical resume, warm-cache hit "
+            "latency), written by benchmarks/bench_store_smoke.py"
         ),
         "cases": cases,
     }
@@ -408,12 +455,15 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
 def write_results(rounds: int = 1, path: str = RESULT_PATH) -> Dict[str, object]:
     payload = run_suite(rounds=rounds)
     # Preserve the streaming-runtime trajectory contributed by
-    # bench_runtime_throughput.py; only the fusion cases are re-measured.
+    # bench_runtime_throughput.py and the crash-durability evidence
+    # contributed by bench_store_smoke.py; only the fusion cases are
+    # re-measured here.
     if os.path.exists(path):
         with open(path) as handle:
             previous = json.load(handle)
-        if "runtime" in previous:
-            payload["runtime"] = previous["runtime"]
+        for block in ("runtime", "store"):
+            if block in previous:
+                payload[block] = previous[block]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
@@ -583,6 +633,11 @@ def main(argv: Sequence[str]) -> int:
             != sorted(RESILIENCE_STATS_FIELDS)
             or not stage_entries_are_consistent(record["stages"])
         ]
+        if not store_block_is_consistent(payload.get("store")):
+            failures.append(
+                "store block (run benchmarks/bench_store_smoke.py to "
+                "regenerate the crash-durability evidence)"
+            )
         if failures:
             print("FAILED cases: %s" % ", ".join(failures))
             return 1

@@ -1,0 +1,230 @@
+"""Store crash smoke: SIGKILL a store-backed fusion mid-descent, resume.
+
+The CI crash-smoke job proves the artifact store's durability contract
+process-for-real on the ``counters-9 (top=19683)`` flagship:
+
+1. a seeded ``kill_between_levels`` chaos plan SIGKILLs a store-backed
+   fusion right after a descent-level checkpoint commits — the child
+   must actually die by signal (a smoke that never kills proves
+   nothing) and leave its advisory lock plus at least one committed
+   checkpoint behind;
+2. a chaos-free rerun against the same store must reclaim the dead
+   owner's lock, resume the descent from the committed level (never
+   from scratch: ``resumed_levels >= 1``) and finish with a summary
+   *and partition bytes* identical to an undisturbed no-store run;
+3. a second, fully warm call must skip ``product_build``,
+   ``ledger_build`` and ``descent`` entirely — only the store stages
+   may appear — and commit nothing;
+4. zero lock files survive the clean finishes.
+
+The warm-hit latency and the recovery evidence are recorded as the
+top-level ``store`` block of ``BENCH_perf.json`` (schema
+``repro-bench-perf/6``), preserved by the other two harnesses the same
+way they preserve each other's blocks, and validated by
+``bench_perf_regression.py --check`` and
+``tests/unit/test_bench_schema.py``.  Run it exactly as CI does::
+
+    PYTHONPATH=src python benchmarks/bench_store_smoke.py
+
+Exits non-zero on any violated guarantee.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.fusion import generate_fusion
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_perf.json"
+)
+
+CASE = "counters-9 (top=19683)"
+
+#: Fires once, on the first descent-level checkpoint: the owner dies
+#: *after* the commit, so the committed level is the resume point.
+CHAOS = "kill_between_levels=1.0,max=1,seed=3"
+
+#: The child that gets killed: the same fusion the parent resumes.
+_CHILD = r"""
+import sys
+from repro.core.fusion import generate_fusion
+from repro.machines import mod_counter
+machines = [
+    mod_counter(3, count_event=e, events=tuple(range(9)), name="c%d" % e)
+    for e in range(9)
+]
+generate_fusion(machines, 1, store=sys.argv[1])
+"""
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+def _labels_digest(result) -> str:
+    digest = hashlib.sha256()
+    for partition in result.partitions:
+        digest.update(partition.labels.tobytes())
+    return digest.hexdigest()
+
+
+def _lock_files(store_root: str):
+    return glob.glob(os.path.join(store_root, "*", "*.lock"))
+
+
+def record_store_block(block: dict, path: str = RESULT_PATH) -> None:
+    """Merge the ``store`` block into BENCH_perf.json, preserving the
+    fusion ``cases`` and streaming ``runtime`` blocks the other two
+    harnesses contribute."""
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload["store"] = block
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def main() -> int:
+    os.environ.pop("REPRO_CHAOS", None)
+    failures = []
+
+    print("reference run (no store) ...")
+    reference = generate_fusion(_counters(9), f=1)
+    reference_labels = _labels_digest(reference)
+
+    store_root = tempfile.mkdtemp(prefix="repro-store-smoke-")
+    try:
+        print("crash run: REPRO_CHAOS=%r ..." % CHAOS)
+        env = dict(os.environ, PYTHONPATH=_SRC, REPRO_CHAOS=CHAOS)
+        crashed = subprocess.run(
+            [sys.executable, "-c", _CHILD, store_root],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        if crashed.returncode != -signal.SIGKILL:
+            failures.append(
+                "the chaos plan must SIGKILL the owner mid-descent; got "
+                "rc=%s stderr=%s" % (crashed.returncode, crashed.stderr[-2000:])
+            )
+        if not _lock_files(store_root):
+            failures.append("the dead owner left no advisory lock behind")
+        checkpoints = glob.glob(os.path.join(store_root, "*", "descent-*.npz"))
+        if not checkpoints:
+            failures.append(
+                "kill_between_levels fires only after a checkpoint "
+                "committed, yet none is on disk"
+            )
+
+        print("resume run (chaos-free, same store) ...")
+        resume_watch = Stopwatch()
+        start = time.perf_counter()
+        resumed = generate_fusion(
+            _counters(9), f=1, store=store_root, stopwatch=resume_watch
+        )
+        resume_seconds = time.perf_counter() - start
+        resume_stats = {
+            k: int(v) for k, v in resume_watch.extras("store").items()
+        }
+        print("resume store stats: %s" % resume_stats)
+        if resumed.summary() != reference.summary():
+            failures.append(
+                "resumed summary differs from the undisturbed reference: "
+                "%r != %r" % (resumed.summary(), reference.summary())
+            )
+        if _labels_digest(resumed) != reference_labels:
+            failures.append("resumed partition bytes differ from the reference")
+        if resume_stats.get("resumed_levels", 0) < 1:
+            failures.append(
+                "the resumed descent restarted from scratch "
+                "(resumed_levels=0) instead of the committed level"
+            )
+        if resume_stats.get("stale_locks", 0) < 1:
+            failures.append("the dead owner's lock was never reclaimed")
+        if _lock_files(store_root):
+            failures.append("lock files survived the resumed run's clean finish")
+
+        print("warm run (everything cached) ...")
+        warm_watch = Stopwatch()
+        start = time.perf_counter()
+        warm = generate_fusion(
+            _counters(9), f=1, store=store_root, stopwatch=warm_watch
+        )
+        warm_hit_seconds = time.perf_counter() - start
+        warm_stages = sorted(warm_watch.as_dict())
+        warm_stats = {k: int(v) for k, v in warm_watch.extras("store").items()}
+        print(
+            "warm hit: %.4fs, stages=%s, stats=%s"
+            % (warm_hit_seconds, warm_stages, warm_stats)
+        )
+        for stage in ("product_build", "ledger_build", "descent"):
+            if stage in warm_stages:
+                failures.append("the warm call recomputed %s" % stage)
+        if warm_stats.get("commits", 0) != 0:
+            failures.append(
+                "the warm call committed %d artifacts; a hit must write "
+                "nothing" % warm_stats["commits"]
+            )
+        if warm.summary() != reference.summary():
+            failures.append("warm summary differs from the reference")
+        if _labels_digest(warm) != reference_labels:
+            failures.append("warm partition bytes differ from the reference")
+
+        if not failures:
+            record_store_block({
+                "note": (
+                    "Crash-durability evidence from benchmarks/"
+                    "bench_store_smoke.py: a seeded kill_between_levels "
+                    "plan SIGKILLed a store-backed %s fusion after its "
+                    "first descent checkpoint; the chaos-free rerun "
+                    "reclaimed the stale lock, resumed from the committed "
+                    "level and matched the no-store reference bit-for-bit; "
+                    "warm_hit_seconds is a fully cached third call that "
+                    "skipped product_build, ledger_build and descent."
+                    % CASE
+                ),
+                "case": CASE,
+                "chaos": CHAOS,
+                "byte_identical": True,
+                "resume_seconds": round(resume_seconds, 6),
+                "resume_stats": resume_stats,
+                "warm_hit_seconds": round(warm_hit_seconds, 6),
+                "warm_stages": warm_stages,
+                "store_stats": warm_stats,
+            })
+            print("wrote store block to %s" % RESULT_PATH)
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print(
+        "OK: SIGKILLed mid-descent, resumed byte-identical from the "
+        "checkpoint, warm hit in %.4fs" % warm_hit_seconds
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,10 @@ __all__ = [
     "FaultToleranceExceededError",
     "SimulationError",
     "SerializationError",
+    "MalformedMachineError",
+    "StoreError",
+    "StoreCorruptionError",
+    "StoreLockTimeoutError",
 ]
 
 
@@ -104,3 +108,34 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A machine or analysis artefact could not be serialised or parsed."""
+
+
+class MalformedMachineError(SerializationError):
+    """A serialised machine description failed structural validation.
+
+    Carries the name of the offending ``field`` (``"states"``,
+    ``"transitions"``, ...) so callers — and error messages — can point
+    at the exact part of the document that is wrong instead of failing
+    deep inside :class:`~repro.core.dfsm.DFSM` construction.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__("%s: %s" % (field, message))
+        self.field = field
+
+
+class StoreError(ReproError):
+    """The on-disk artifact store failed an operation."""
+
+
+class StoreCorruptionError(StoreError):
+    """An artifact failed its checksum/manifest verification on load.
+
+    The store never raises this to fusion callers — a corrupt artifact
+    is quarantined and recomputed — but direct container reads surface
+    it so tests can assert torn writes are detected.
+    """
+
+
+class StoreLockTimeoutError(StoreError):
+    """An advisory store lock could not be acquired within the backoff budget."""

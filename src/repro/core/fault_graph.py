@@ -450,6 +450,25 @@ class FaultGraph:
             self._ledger = ledger
         return ledger
 
+    def seed_base_ledger(self, ledger: PairLedger) -> bool:
+        """Adopt a warm base ledger into the shared builder (sparse mode).
+
+        Called by the artifact store before the first weight query so a
+        resumed or warm-cache fusion skips the pigeonhole join for caps
+        already on disk.  No-op (False) on dense graphs or mismatched
+        ledgers; exactness is unaffected either way — a seeded ledger is
+        byte-identical to the join it replaces.
+        """
+        if not self._sparse or self._builder is None:
+            return False
+        return self._builder.seed(ledger)
+
+    def built_base_ledgers(self) -> Dict[int, PairLedger]:
+        """The base ledgers the shared builder has materialised, by cap."""
+        if not self._sparse or self._builder is None:
+            return {}
+        return self._builder.built()
+
     def _sparse_dmin(self) -> int:
         num_machines = self.num_machines
         if num_machines == 0:

@@ -50,6 +50,7 @@ ablation.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future
 from concurrent.futures import wait as _wait_futures
 from contextlib import nullcontext
@@ -68,6 +69,7 @@ from typing import (
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..io.store import ArtifactStore
     from ..utils.timing import Stopwatch
 
 from .dfsm import DFSM
@@ -634,6 +636,12 @@ def _scan_level_sparse(
                 candidate = record(closed)
                 if first_mode:
                     return (candidate, improving)
+    except KeyboardInterrupt:
+        # Do not join a possibly-hung wave on Ctrl-C; the pool is torn
+        # down (workers killed, bundles unlinked) by the owner's
+        # interrupt handling upstream.
+        window = []
+        raise
     finally:
         # On early return (first hit) cancel what never started and wait
         # out what did: the next set_level must not race a worker that
@@ -742,6 +750,8 @@ def _descend(
     max_descent: Optional[int] = None,
     stopwatch=None,
     pool: Optional[SharedWorkerPool] = None,
+    checkpoint: Optional[Callable[[int, np.ndarray], None]] = None,
+    resume: Optional[Tuple[int, np.ndarray]] = None,
 ) -> Partition:
     """Inner loop of Algorithm 2: walk down the lattice from the top.
 
@@ -787,10 +797,24 @@ def _descend(
     minimality argument of Theorem 5.  The descent never needs the full
     top-state-space partition until the end: it works on quotient
     transition tables whose size shrinks at every step.
+
+    ``checkpoint`` (when given) is called with ``(level, labels)`` after
+    every committed step, and ``resume`` restarts the walk from such a
+    pair instead of the identity partition.  Resuming is byte-identical
+    to the uninterrupted run: the level scan enumerates candidates in a
+    fixed lexicographic order and the doomed-pair prune is a *sound*
+    filter — a resumed engine that starts with an empty prune cache
+    merely prunes less on its first level, it can never change which
+    candidate is chosen.
     """
     weak_rows, weak_cols = graph.weakest_edge_arrays()
-    current = Partition.identity(top.num_states)
-    steps = 0
+    if resume is not None:
+        level, labels = resume
+        current = Partition(np.asarray(labels))
+        steps = int(level)
+    else:
+        current = Partition.identity(top.num_states)
+        steps = 0
     measure = stopwatch.measure if stopwatch is not None else (lambda _name: nullcontext())
     first_mode = strategy is _first_candidate
     shared_holder: List[Optional[_DescentShared]] = [None]
@@ -861,11 +885,90 @@ def _descend(
                 break
             current = chosen
             steps += 1
+            if checkpoint is not None:
+                checkpoint(steps, current.labels)
         return current
     finally:
         engine.retire()
         if shared_holder[0] is not None:
             shared_holder[0].retire()
+
+
+def _resolve_store(store) -> Optional["ArtifactStore"]:
+    """Coerce ``generate_fusion``'s ``store`` argument to an instance.
+
+    ``None`` falls back to ``REPRO_ARTIFACT_DIR`` (the common production
+    shape: export the variable once, every run becomes durable); a
+    string/path opens a store rooted there.  Imported lazily because
+    :mod:`repro.io` depends on :mod:`repro.core`.
+    """
+    from ..io.store import ArtifactStore
+
+    if store is None:
+        return ArtifactStore.from_env()
+    if isinstance(store, (str, os.PathLike)):
+        return ArtifactStore(os.fspath(store))
+    return store
+
+
+def _result_from_store(
+    store: "ArtifactStore",
+    digest: str,
+    runkey: str,
+    machines: Sequence[DFSM],
+    product: Optional[CrossProduct],
+    target_dmin: int,
+) -> Optional[FusionResult]:
+    """Reconstruct a finished :class:`FusionResult` from the store.
+
+    ``None`` on any miss or malformed artifact (which is quarantined) —
+    the caller then recomputes and recommits.  The reconstruction is
+    cheap: backups are quotients of the warm product, and the fault
+    graph is reassembled lazily (no pair joins run until someone asks
+    for a ``dmin`` the persisted ledgers cannot answer).
+    """
+    loaded = store.load_result(digest, runkey)
+    if loaded is None:
+        return None
+    meta, labels_list = loaded
+    if product is None:
+        product = store.load_product(digest, machines)
+        if product is None:
+            return None
+    top = product.machine
+    try:
+        f = int(meta["f"])
+        initial_dmin = int(meta["initial_dmin"])
+        final_dmin = int(meta["final_dmin"])
+        names = list(meta["names"])
+    except (KeyError, TypeError, ValueError):
+        store.quarantine(digest, store._result_name(runkey))
+        return None
+    if len(names) != len(labels_list) or any(
+        labels.shape != (top.num_states,) for labels in labels_list
+    ):
+        store.quarantine(digest, store._result_name(runkey))
+        return None
+    partitions = tuple(Partition(np.asarray(labels)) for labels in labels_list)
+    graph = FaultGraph.from_cross_product(product, weight_cap=target_dmin + 1)
+    ledgers = store.load_base_ledgers(digest)
+    for cap in sorted(ledgers):
+        graph.seed_base_ledger(ledgers[cap])
+    backups = []
+    for name, partition in zip(names, partitions):
+        machine = machine_from_partition(top, partition, name=str(name))
+        graph = graph.with_partition(partition, name=str(name))
+        backups.append(machine)
+    return FusionResult(
+        originals=tuple(machines),
+        backups=tuple(backups),
+        partitions=partitions,
+        product=product,
+        graph=graph,
+        f=f,
+        initial_dmin=initial_dmin,
+        final_dmin=final_dmin,
+    )
 
 
 def generate_fusion(
@@ -880,6 +983,7 @@ def generate_fusion(
     product: Optional[CrossProduct] = None,
     stopwatch: Optional["Stopwatch"] = None,
     workers: Optional[int] = None,
+    store: "ArtifactStore | str | os.PathLike | None" = None,
 ) -> FusionResult:
     """Algorithm 2 — generate backup machines tolerating ``f`` faults.
 
@@ -925,6 +1029,20 @@ def generate_fusion(
         with the product's buffers published once over shared memory and
         unlinked in a ``finally`` whatever happens.  The result is
         byte-identical for every worker count.
+    store:
+        Optional :class:`repro.io.store.ArtifactStore` (or a directory
+        path) making the run *crash durable*: the reachable product, the
+        pair ledgers, every descent level and the finished result are
+        committed atomically under the machine set's content digest.  A
+        second call on the same machine set warm-loads (skipping
+        ``product_build``/``ledger_build`` entirely), and a run killed
+        mid-descent resumes from its last committed level with a
+        byte-identical result.  ``None`` falls back to the
+        ``REPRO_ARTIFACT_DIR`` environment variable; unset means no
+        persistence (exactly the previous behaviour).  Result-level
+        caching requires a named ``strategy`` and no
+        ``existing_backups`` (custom callables have no stable cache
+        key); product and ledger artifacts are shared regardless.
 
     Returns
     -------
@@ -954,6 +1072,33 @@ def generate_fusion(
 
     target_dmin = required_dmin(f, byzantine=byzantine)
     crash_equivalent_f = target_dmin - 1
+    measure = stopwatch.measure if stopwatch is not None else nullcontext
+
+    artifacts = _resolve_store(store)
+    digest: Optional[str] = None
+    runkey: Optional[str] = None
+    if artifacts is not None:
+        with measure("store_load"):
+            digest = artifacts.open_namespace(machines)
+        if isinstance(strategy, str) and not existing_backups:
+            runkey = artifacts.run_key(
+                f=f,
+                byzantine=byzantine,
+                strategy=strategy,
+                name_prefix=name_prefix,
+                max_backups=max_backups,
+            )
+            # Warm fast path: a finished result for this exact run
+            # reconstructs without a pool, a lock, or a single join.
+            with measure("store_load"):
+                warm = _result_from_store(
+                    artifacts, digest, runkey, machines, product, target_dmin
+                )
+            if warm is not None:
+                if stopwatch is not None:
+                    stopwatch.accumulate("store", **artifacts.stats.as_counters())
+                return warm
+
     worker_count = resolve_workers(workers)
     # One pool for the whole generation: the ledger build's group joins
     # and every descent level's closure batches share its workers and
@@ -965,67 +1110,182 @@ def generate_fusion(
     )
 
     try:
-        measure = stopwatch.measure if stopwatch is not None else nullcontext
-        if product is None:
-            with measure("product_build"):
-                # The pool (when workers > 1) also serves the reachable
-                # exploration: big BFS frontiers shard their successor
-                # gathers over the workers, order-identically.
-                product = CrossProduct(machines, pool=pool)
-        top = product.machine
-
-        with measure("graph_assemble"):
-            # The cap tells a sparse graph which weights Algorithm 2 will
-            # ask about exactly: everything up to the target dmin.
-            graph = FaultGraph.from_cross_product(
-                product, weight_cap=target_dmin + 1, pool=pool
-            )
-            for backup in existing_backups:
-                graph = graph.with_partition(
-                    partition_from_machine(top, backup), name=backup.name
-                )
-
-        with measure("ledger_build"):
-            # dmin is lazy; computing it here charges the sparse pair
-            # ledger's pigeonhole joins (or the dense condensed-vector
-            # min) to this stage instead of leaking it into unmeasured
-            # time.  Later escalations and per-backup updates reuse this
-            # build through the graph's LedgerBuilder.
-            initial_dmin = graph.dmin()
-
-        needed = max(0, target_dmin - initial_dmin)
-        if max_backups is not None and needed > max_backups:
-            raise FusionExistenceError(
-                "no (%d, %d)-fusion exists: dmin(A)=%d so at least %d backups are required "
-                "(Theorem 4: m + dmin(A) > f)"
-                % (crash_equivalent_f, max_backups, initial_dmin, needed)
-            )
-
-        new_partitions: List[Partition] = []
-        new_machines: List[DFSM] = []
-        while graph.dmin() <= crash_equivalent_f:
-            with measure("descent"):
-                chosen = _descend(
-                    top, graph, strategy_fn, stopwatch=stopwatch, pool=pool
-                )
-            index = len(existing_backups) + len(new_machines) + 1
-            name = "%s%d" % (name_prefix, index)
-            machine = machine_from_partition(top, chosen, name=name)
-            graph = graph.with_partition(chosen, name=name)
-            new_partitions.append(chosen)
-            new_machines.append(machine)
-
-        return FusionResult(
-            originals=tuple(machines),
-            backups=tuple(existing_backups) + tuple(new_machines),
-            partitions=tuple(partition_from_machine(top, b) for b in existing_backups)
-            + tuple(new_partitions),
-            product=product,
-            graph=graph,
-            f=crash_equivalent_f,
-            initial_dmin=initial_dmin,
-            final_dmin=graph.dmin(),
+        # Cold runs against a store serialise on an advisory run lock:
+        # a second process arriving mid-compute blocks (bounded), then
+        # finds the finished result committed and warm-loads it instead
+        # of duplicating the descent.  A crashed owner's lock is
+        # reclaimed by stale-pid detection inside ``lock``.
+        run_lock = (
+            artifacts.lock(digest, "run-%s" % runkey)
+            if artifacts is not None and runkey is not None
+            else nullcontext()
         )
+        with run_lock:
+            if artifacts is not None and runkey is not None:
+                with measure("store_load"):
+                    warm = _result_from_store(
+                        artifacts, digest, runkey, machines, product, target_dmin
+                    )
+                if warm is not None:
+                    return warm
+
+            if product is None and artifacts is not None:
+                with measure("store_load"):
+                    product = artifacts.load_product(digest, machines)
+            if product is None:
+                with measure("product_build"):
+                    # The pool (when workers > 1) also serves the reachable
+                    # exploration: big BFS frontiers shard their successor
+                    # gathers over the workers, order-identically.
+                    product = CrossProduct(machines, pool=pool)
+                if artifacts is not None:
+                    with measure("store_commit"):
+                        artifacts.save_product(digest, product)
+            top = product.machine
+
+            with measure("graph_assemble"):
+                # The cap tells a sparse graph which weights Algorithm 2 will
+                # ask about exactly: everything up to the target dmin.
+                graph = FaultGraph.from_cross_product(
+                    product, weight_cap=target_dmin + 1, pool=pool
+                )
+            persisted_caps: set = set()
+            if artifacts is not None:
+                # Seed the graph's ledger builder before any join runs;
+                # a warm cap makes the matching ``dmin`` escalation free.
+                with measure("store_load"):
+                    ledgers = artifacts.load_base_ledgers(digest)
+                for cap in sorted(ledgers):
+                    if graph.seed_base_ledger(ledgers[cap]):
+                        persisted_caps.add(cap)
+            with measure("graph_assemble"):
+                for backup in existing_backups:
+                    graph = graph.with_partition(
+                        partition_from_machine(top, backup), name=backup.name
+                    )
+
+            def commit_new_ledgers() -> None:
+                """Persist base ledgers built since the last sweep."""
+                if artifacts is None:
+                    return
+                built = graph.built_base_ledgers()
+                for cap in sorted(built):
+                    if cap in persisted_caps:
+                        continue
+                    with measure("store_commit"):
+                        artifacts.save_base_ledger(digest, built[cap])
+                    persisted_caps.add(cap)
+
+            with measure("ledger_build"):
+                # dmin is lazy; computing it here charges the sparse pair
+                # ledger's pigeonhole joins (or the dense condensed-vector
+                # min) to this stage instead of leaking it into unmeasured
+                # time.  Later escalations and per-backup updates reuse this
+                # build through the graph's LedgerBuilder.
+                initial_dmin = graph.dmin()
+            commit_new_ledgers()
+
+            needed = max(0, target_dmin - initial_dmin)
+            if max_backups is not None and needed > max_backups:
+                raise FusionExistenceError(
+                    "no (%d, %d)-fusion exists: dmin(A)=%d so at least %d backups are required "
+                    "(Theorem 4: m + dmin(A) > f)"
+                    % (crash_equivalent_f, max_backups, initial_dmin, needed)
+                )
+
+            new_partitions: List[Partition] = []
+            new_machines: List[DFSM] = []
+            while graph.dmin() <= crash_equivalent_f:
+                backup_index = len(new_machines)
+                chosen: Optional[Partition] = None
+                checkpoint = None
+                if artifacts is not None and runkey is not None:
+                    # A finished backup from an earlier (killed) run skips
+                    # its descent outright; otherwise a level checkpoint
+                    # resumes the walk from the last committed level.
+                    with measure("store_load"):
+                        labels = artifacts.load_backup(digest, runkey, backup_index)
+                    if labels is not None and labels.shape == (top.num_states,):
+                        chosen = Partition(np.asarray(labels))
+                if chosen is None:
+                    resume = None
+                    if artifacts is not None and runkey is not None:
+                        with measure("store_load"):
+                            saved = artifacts.load_checkpoint(
+                                digest, runkey, backup_index
+                            )
+                        if saved is not None and saved[1].shape == (top.num_states,):
+                            resume = saved
+                            artifacts.stats.resumed_levels += int(saved[0])
+
+                        def checkpoint(
+                            level: int, labels: np.ndarray, _index: int = backup_index
+                        ) -> None:
+                            with measure("store_commit"):
+                                artifacts.save_checkpoint(
+                                    digest, runkey, _index, level, labels
+                                )
+
+                    with measure("descent"):
+                        chosen = _descend(
+                            top,
+                            graph,
+                            strategy_fn,
+                            stopwatch=stopwatch,
+                            pool=pool,
+                            checkpoint=checkpoint,
+                            resume=resume,
+                        )
+                    if artifacts is not None and runkey is not None:
+                        with measure("store_commit"):
+                            artifacts.save_backup(
+                                digest, runkey, backup_index, chosen.labels
+                            )
+                name = "%s%d" % (
+                    name_prefix,
+                    len(existing_backups) + len(new_machines) + 1,
+                )
+                machine = machine_from_partition(top, chosen, name=name)
+                graph = graph.with_partition(chosen, name=name)
+                new_partitions.append(chosen)
+                new_machines.append(machine)
+            commit_new_ledgers()
+
+            final_dmin = graph.dmin()
+            if artifacts is not None and runkey is not None:
+                with measure("store_commit"):
+                    artifacts.save_result(
+                        digest,
+                        runkey,
+                        {
+                            "f": crash_equivalent_f,
+                            "initial_dmin": initial_dmin,
+                            "final_dmin": final_dmin,
+                            "names": [m.name for m in new_machines],
+                        },
+                        [p.labels for p in new_partitions],
+                    )
+
+            return FusionResult(
+                originals=tuple(machines),
+                backups=tuple(existing_backups) + tuple(new_machines),
+                partitions=tuple(
+                    partition_from_machine(top, b) for b in existing_backups
+                )
+                + tuple(new_partitions),
+                product=product,
+                graph=graph,
+                f=crash_equivalent_f,
+                initial_dmin=initial_dmin,
+                final_dmin=final_dmin,
+            )
+    except KeyboardInterrupt:
+        # Ctrl-C while a task hangs must not deadlock in pool.close()'s
+        # join (and a second Ctrl-C would then strand /dev/shm
+        # segments): kill the workers and unlink everything first.
+        if pool is not None:
+            pool.interrupt()
+        raise
     finally:
         if pool is not None:
             # Fold the self-healing layer's outcome into the stopwatch:
@@ -1034,6 +1294,8 @@ def generate_fusion(
             if stopwatch is not None:
                 stopwatch.accumulate("resilience", **pool.resilience.as_counters())
             pool.close()
+        if artifacts is not None and stopwatch is not None:
+            stopwatch.accumulate("store", **artifacts.stats.as_counters())
 
 
 def generate_byzantine_fusion(

@@ -128,33 +128,53 @@ class CrossProduct:
         machines: Sequence[DFSM],
         name: str = "top",
         pool: Optional[SharedWorkerPool] = None,
+        _precomputed: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         if not machines:
             raise InvalidMachineError("cannot build a cross product of zero machines")
         self._components: Tuple[DFSM, ...] = tuple(machines)
         events = merged_alphabet(self._components)
-
-        # Breadth-first exploration of the reachable tuple space.  Tuples
-        # are tracked as vectors of component *indices*; labels are only
-        # attached for the public API.  Pre-resolve, per event, the
-        # transition column of each component (or None when the component
-        # ignores the event and stays put).
         initial = tuple(m.initial_index for m in self._components)
-        event_columns: List[List[Optional[np.ndarray]]] = []
-        for event in events:
-            cols: List[Optional[np.ndarray]] = []
-            for machine in self._components:
-                if machine.has_event(event):
-                    cols.append(
-                        np.ascontiguousarray(
-                            machine.transition_table[:, machine.event_index(event)]
-                        )
-                    )
-                else:
-                    cols.append(None)
-            event_columns.append(cols)
 
-        order_array, table = self._explore(initial, event_columns, len(events), pool)
+        if _precomputed is not None:
+            # Warm path (artifact store): the BFS result was loaded from
+            # disk; everything after ``_explore`` is a deterministic
+            # function of ``(order, table)``, so the rebuilt product is
+            # byte-identical to the cold construction.
+            order_array = np.ascontiguousarray(_precomputed[0], dtype=np.int64)
+            table = np.ascontiguousarray(_precomputed[1], dtype=np.int64)
+            if (
+                order_array.ndim != 2
+                or order_array.shape[1] != len(self._components)
+                or table.ndim != 2
+                or table.shape != (order_array.shape[0], len(events))
+                or order_array.shape[0] == 0
+                or tuple(order_array[0].tolist()) != initial
+            ):
+                raise InvalidMachineError(
+                    "precomputed exploration arrays do not match the machine set"
+                )
+        else:
+            # Breadth-first exploration of the reachable tuple space.
+            # Tuples are tracked as vectors of component *indices*;
+            # labels are only attached for the public API.  Pre-resolve,
+            # per event, the transition column of each component (or
+            # None when the component ignores the event and stays put).
+            event_columns: List[List[Optional[np.ndarray]]] = []
+            for event in events:
+                cols: List[Optional[np.ndarray]] = []
+                for machine in self._components:
+                    if machine.has_event(event):
+                        cols.append(
+                            np.ascontiguousarray(
+                                machine.transition_table[:, machine.event_index(event)]
+                            )
+                        )
+                    else:
+                        cols.append(None)
+                event_columns.append(cols)
+
+            order_array, table = self._explore(initial, event_columns, len(events), pool)
         n = order_array.shape[0]
 
         self._tuples: Tuple[StateTuple, ...] = tuple(
@@ -175,6 +195,34 @@ class CrossProduct:
         self._projections = projections
         self._component_partitions: Optional[Tuple["Partition", ...]] = None
         self._label_matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        machines: Sequence[DFSM],
+        order: np.ndarray,
+        table: np.ndarray,
+        name: str = "top",
+    ) -> "CrossProduct":
+        """Rebuild a product from a persisted BFS result.
+
+        ``order`` is the ``(n, num_components)`` reachable tuple array in
+        discovery order and ``table`` the ``(n, num_events)`` transition
+        table over those state indices — exactly what ``_explore``
+        returns and what the artifact store persists.  The result is
+        byte-identical to ``CrossProduct(machines, name)``.
+        """
+        return cls(machines, name=name, _precomputed=(order, table))
+
+    @property
+    def exploration_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(order, table)`` — the persistable BFS result.
+
+        ``from_arrays(components, *exploration_arrays)`` reproduces this
+        product exactly; the artifact store commits these two arrays.
+        """
+        return self._projections.T, self._machine.transition_table
 
     # ------------------------------------------------------------------
     # Reachability exploration

@@ -52,6 +52,7 @@ __all__ = [
     "ChaosSpec",
     "EngineFaultKind",
     "RECOVERABLE_POOL_ERRORS",
+    "OWNER_STAGES",
     "ResilienceConfig",
     "ResilienceStats",
     "assert_no_owned_segments",
@@ -81,6 +82,10 @@ class EngineFaultKind(enum.Enum):
     WORKER_KILL = "worker_kill"
     TASK_HANG = "task_hang"
     SLOW_TASK = "slow_task"
+    #: SIGKILL the *owner* process mid artifact commit (torn write).
+    KILL_DURING_WRITE = "kill_during_write"
+    #: SIGKILL the *owner* process after a descent-level checkpoint.
+    KILL_BETWEEN_LEVELS = "kill_between_levels"
 
 
 #: Worker task function → stage name, the vocabulary of ``REPRO_CHAOS``
@@ -106,6 +111,15 @@ KNOWN_STAGES: Tuple[str, ...] = (
     "closure_batch",
     "bfs_shard",
     "runtime_step",
+)
+
+#: Owner-process stages the artifact store draws chaos against; they
+#: never run inside a pool worker, so the worker fault kinds
+#: (``worker_kill``/``task_hang``/``slow_task``) are not drawn here and
+#: the owner kill kinds are drawn *only* here.
+OWNER_STAGES: Tuple[str, ...] = (
+    "store_commit",
+    "descent_level",
 )
 
 
@@ -224,7 +238,16 @@ _DRAW_ORDER = (
     EngineFaultKind.WORKER_KILL,
     EngineFaultKind.TASK_HANG,
     EngineFaultKind.SLOW_TASK,
+    EngineFaultKind.KILL_DURING_WRITE,
+    EngineFaultKind.KILL_BETWEEN_LEVELS,
 )
+
+#: Owner kill kinds fire only in their own stage; every other kind is a
+#: worker fault and must never burn the ``max`` budget on owner stages.
+_OWNER_STAGE_BY_KIND: Dict[EngineFaultKind, str] = {
+    EngineFaultKind.KILL_DURING_WRITE: "store_commit",
+    EngineFaultKind.KILL_BETWEEN_LEVELS: "descent_level",
+}
 
 
 class ChaosSpec:
@@ -305,11 +328,12 @@ class ChaosSpec:
                     probabilities[by_value[key]] = float(value)
                 elif key == "stages":
                     named = tuple(s for s in value.split("+") if s)
-                    unknown = [s for s in named if s not in KNOWN_STAGES]
+                    vocabulary = KNOWN_STAGES + OWNER_STAGES
+                    unknown = [s for s in named if s not in vocabulary]
                     if unknown:
                         raise FusionError(
                             "REPRO_CHAOS names unknown stages %r (known: %s)"
-                            % (unknown, ", ".join(KNOWN_STAGES))
+                            % (unknown, ", ".join(vocabulary))
                         )
                     stages = named
                 elif key == "max":
@@ -360,6 +384,12 @@ class ChaosSpec:
         if self._stages is not None and stage not in self._stages:
             return None
         for kind in _DRAW_ORDER:
+            owner_stage = _OWNER_STAGE_BY_KIND.get(kind)
+            if owner_stage is not None:
+                if stage != owner_stage:
+                    continue
+            elif stage in OWNER_STAGES:
+                continue
             probability = self._probabilities.get(kind, 0.0)
             if probability <= 0.0:
                 continue
@@ -383,11 +413,16 @@ def chaos_from_env() -> Optional[ChaosSpec]:
 
 
 def execute_chaos_fault(fault: ChaosFault) -> None:
-    """Worker-side execution of a drawn fault (inside the task shell)."""
+    """Execution of a drawn fault (worker task shell or store commit path)."""
     kind, seconds = fault
-    if kind == EngineFaultKind.WORKER_KILL.value:
+    if kind in (
+        EngineFaultKind.WORKER_KILL.value,
+        EngineFaultKind.KILL_DURING_WRITE.value,
+        EngineFaultKind.KILL_BETWEEN_LEVELS.value,
+    ):
         # A hard kill, exactly like the OOM killer: no cleanup, no
-        # exception — the owner sees BrokenProcessPool.
+        # exception — a killed worker surfaces as BrokenProcessPool, a
+        # killed owner leaves the store to prove its crash durability.
         os.kill(os.getpid(), signal.SIGKILL)
     elif kind == EngineFaultKind.TASK_HANG.value:
         time.sleep(seconds)

@@ -501,6 +501,11 @@ class SharedWorkerPool:
             # worker — no in-flight task can race the replay's scratch
             # rewrites, so there is nothing to wait for here.
             raise
+        except KeyboardInterrupt:
+            # Ctrl-C must not join a possibly-hung wave — the owner
+            # tears the pool down with :meth:`interrupt`, which kills
+            # the workers instead of waiting for them.
+            raise
         except BaseException:
             # A genuine task exception: drain the wave before raising so
             # no task is still reading a bundle the caller may unlink.
@@ -522,6 +527,22 @@ class SharedWorkerPool:
             executor.shutdown(wait=True, cancel_futures=True)
         except Exception:  # pragma: no cover - broken-pool teardown
             pass
+
+    def interrupt(self) -> None:
+        """Tear down after Ctrl-C: hard-kill workers, then unlink bundles.
+
+        :meth:`close` joins in-flight tasks — the right shutdown on
+        every normal path, but a deadlock when Ctrl-C arrives while a
+        task hangs (the join waits out the hang, and a second Ctrl-C
+        would kill the process with every segment still linked).  Here
+        the workers are killed first, so nothing can still be reading
+        the bundles when they are unlinked and no join can block.
+        """
+        self._closed = True
+        self._discard_executor()
+        for bundle in self._bundles:
+            bundle.close()
+        self._bundles = []
 
     def close(self) -> None:
         """Shut the executor down and unlink every live bundle."""

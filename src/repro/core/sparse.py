@@ -807,6 +807,25 @@ class LedgerBuilder:
             self._cache[cap] = cached
         return cached
 
+    def seed(self, ledger: "PairLedger") -> bool:
+        """Adopt a warm base ledger (e.g. loaded from the artifact store).
+
+        The ledger must describe the same state count and a cap within
+        the machine count; an already-built cap is never overwritten
+        (the cached join is equally exact).  Returns True when adopted.
+        """
+        if int(ledger.num_states) != self._num_states:
+            return False
+        cap = int(ledger.cap)
+        if not 0 < cap <= len(self._partitions) or cap in self._cache:
+            return False
+        self._cache[cap] = ledger
+        return True
+
+    def built(self) -> Dict[int, "PairLedger"]:
+        """Snapshot of the base ledgers built so far, keyed by cap."""
+        return dict(self._cache)
+
     def ledger(self, cap: int, extras: Sequence[Partition] = ()) -> "PairLedger":
         """Base ledger plus one vectorised fold per extra (backup) machine."""
         built = self.base(cap)

@@ -1,4 +1,6 @@
-"""Serialisation: JSON round-trips and Graphviz DOT export."""
+"""Serialisation and persistence: JSON round-trips, Graphviz DOT export,
+the checksummed NumPy container format, and the crash-durable artifact
+store behind ``generate_fusion(..., store=...)``."""
 
 from .dot import fault_graph_to_dot, lattice_to_dot, machine_to_dot
 from .json_io import (
@@ -10,6 +12,14 @@ from .json_io import (
     machine_from_dict,
     machine_to_dict,
 )
+from .npz_io import (
+    load_machines,
+    machine_set_digest,
+    read_container,
+    save_machines,
+    write_container,
+)
+from .store import ARTIFACT_DIR_ENV, ArtifactStore, StoreStats
 
 __all__ = [
     "machine_to_dict",
@@ -22,4 +32,12 @@ __all__ = [
     "machine_to_dot",
     "fault_graph_to_dot",
     "lattice_to_dot",
+    "write_container",
+    "read_container",
+    "save_machines",
+    "load_machines",
+    "machine_set_digest",
+    "ArtifactStore",
+    "StoreStats",
+    "ARTIFACT_DIR_ENV",
 ]

@@ -10,11 +10,13 @@ cross products and fusion machines round-trip exactly.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Optional, TYPE_CHECKING, Union
 
 from ..core.dfsm import DFSM
-from ..core.exceptions import SerializationError
-from ..core.fusion import FusionResult
+from ..core.exceptions import MalformedMachineError, SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fusion -> io.store)
+    from ..core.fusion import FusionResult
 
 __all__ = [
     "machine_to_dict",
@@ -68,20 +70,96 @@ def machine_to_dict(machine: DFSM) -> Dict[str, Any]:
     }
 
 
+def _validated_fields(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Decode and structurally validate :func:`machine_to_dict` output.
+
+    Every malformation is reported as a :class:`MalformedMachineError`
+    naming the offending field, *before* any :class:`DFSM` construction
+    is attempted.
+    """
+    if not isinstance(data, dict):
+        raise MalformedMachineError(
+            "document", "expected a mapping, got %r" % type(data).__name__
+        )
+    if data.get("format") != "repro.dfsm/1":
+        raise MalformedMachineError(
+            "format", "unsupported machine format %r" % data.get("format")
+        )
+    for field in ("states", "events", "initial", "transitions"):
+        if field not in data:
+            raise MalformedMachineError(field, "missing required field")
+    if not isinstance(data["states"], list) or not data["states"]:
+        raise MalformedMachineError("states", "must be a non-empty list")
+    if not isinstance(data["events"], list):
+        raise MalformedMachineError("events", "must be a list")
+    states = [_decode_label(s) for s in data["states"]]
+    events = [_decode_label(e) for e in data["events"]]
+    if len(set(states)) != len(states):
+        dupes = sorted(
+            {repr(s) for s in states if states.count(s) > 1}
+        )
+        raise MalformedMachineError(
+            "states", "duplicate state labels: %s" % ", ".join(dupes)
+        )
+    if len(set(events)) != len(events):
+        raise MalformedMachineError("events", "duplicate event labels")
+    initial = _decode_label(data["initial"])
+    if initial not in set(states):
+        raise MalformedMachineError(
+            "initial", "initial state %r is not a member of states" % (initial,)
+        )
+    table = data["transitions"]
+    if not isinstance(table, list) or len(table) != len(states):
+        raise MalformedMachineError(
+            "transitions",
+            "expected one row per state (%d), got %s"
+            % (len(states), len(table) if isinstance(table, list) else repr(table)),
+        )
+    for i, row in enumerate(table):
+        if not isinstance(row, list) or len(row) != len(events):
+            raise MalformedMachineError(
+                "transitions",
+                "row %d: expected one entry per event (%d)" % (i, len(events)),
+            )
+        for j, target in enumerate(row):
+            if not isinstance(target, int) or isinstance(target, bool):
+                raise MalformedMachineError(
+                    "transitions",
+                    "row %d column %d: state index must be an integer, got %r"
+                    % (i, j, target),
+                )
+            if not 0 <= target < len(states):
+                raise MalformedMachineError(
+                    "transitions",
+                    "row %d column %d references unknown state index %d "
+                    "(machine has %d states)" % (i, j, target, len(states)),
+                )
+    return {
+        "states": states,
+        "events": events,
+        "initial": initial,
+        "table": table,
+        "name": data.get("name", "DFSM"),
+    }
+
+
 def machine_from_dict(data: Dict[str, Any]) -> DFSM:
-    """Rebuild a :class:`DFSM` from :func:`machine_to_dict` output."""
+    """Rebuild a :class:`DFSM` from :func:`machine_to_dict` output.
+
+    Malformed input — duplicate state labels, transition rows that
+    reference unknown state indices, a missing field — raises
+    :class:`MalformedMachineError` naming the offending field.
+    """
+    fields = _validated_fields(data)
+    states = fields["states"]
+    events = fields["events"]
+    table = fields["table"]
     try:
-        if data.get("format") != "repro.dfsm/1":
-            raise SerializationError("unsupported machine format %r" % data.get("format"))
-        states = [_decode_label(s) for s in data["states"]]
-        events = [_decode_label(e) for e in data["events"]]
-        initial = _decode_label(data["initial"])
-        table = data["transitions"]
         transitions = {
             states[i]: {events[j]: states[table[i][j]] for j in range(len(events))}
             for i in range(len(states))
         }
-        return DFSM(states, events, transitions, initial, name=data.get("name", "DFSM"))
+        return DFSM(states, events, transitions, fields["initial"], name=fields["name"])
     except SerializationError:
         raise
     except Exception as exc:  # noqa: BLE001 - convert to library error

@@ -39,16 +39,24 @@ class FaultKind(enum.Enum):
     WORKER_KILL = "worker_kill"
     TASK_HANG = "task_hang"
     SLOW_TASK = "slow_task"
+    KILL_DURING_WRITE = "kill_during_write"
+    KILL_BETWEEN_LEVELS = "kill_between_levels"
 
     @property
     def targets_engine(self) -> bool:
-        """True for faults aimed at pool workers, not simulated servers."""
+        """True for faults aimed at the engine, not simulated servers."""
         return self in _ENGINE_KINDS
 
 
 _SERVER_KINDS = frozenset({FaultKind.CRASH, FaultKind.BYZANTINE})
 _ENGINE_KINDS = frozenset(
-    {FaultKind.WORKER_KILL, FaultKind.TASK_HANG, FaultKind.SLOW_TASK}
+    {
+        FaultKind.WORKER_KILL,
+        FaultKind.TASK_HANG,
+        FaultKind.SLOW_TASK,
+        FaultKind.KILL_DURING_WRITE,
+        FaultKind.KILL_BETWEEN_LEVELS,
+    }
 )
 
 
@@ -201,17 +209,22 @@ class FaultInjector:
         worker_kill: float = 0.0,
         task_hang: float = 0.0,
         slow_task: float = 0.0,
+        kill_during_write: float = 0.0,
+        kill_between_levels: float = 0.0,
         stages: Optional[Sequence[str]] = None,
         max_faults: Optional[int] = None,
     ) -> "ChaosSpec":
-        """A seeded chaos plan for the *engine* (pool workers).
+        """A seeded chaos plan for the *engine* (pool workers and store).
 
-        Engine faults — :data:`FaultKind.WORKER_KILL` / ``TASK_HANG`` /
-        ``SLOW_TASK`` — strike the processes computing the fusion rather
+        Engine faults strike the processes computing the fusion rather
         than the simulated servers, so they live in a
         :class:`repro.core.resilience.ChaosSpec` handed to
         ``generate_fusion``'s worker pool instead of a :class:`FaultPlan`.
-        The spec's draws are deterministic in ``seed``, exactly like
+        ``worker_kill``/``task_hang``/``slow_task`` target pool workers;
+        ``kill_during_write``/``kill_between_levels`` SIGKILL the owner
+        process during an artifact-store commit or right after a
+        descent-level checkpoint, exercising crash durability.  The
+        spec's draws are deterministic in ``seed``, exactly like
         :meth:`random_plan` is in the injector's seed.
         """
         from ..core.resilience import ChaosSpec, EngineFaultKind
@@ -221,6 +234,8 @@ class FaultInjector:
                 EngineFaultKind.WORKER_KILL: worker_kill,
                 EngineFaultKind.TASK_HANG: task_hang,
                 EngineFaultKind.SLOW_TASK: slow_task,
+                EngineFaultKind.KILL_DURING_WRITE: kill_during_write,
+                EngineFaultKind.KILL_BETWEEN_LEVELS: kill_between_levels,
             },
             stages=tuple(stages) if stages is not None else None,
             max_faults=max_faults,

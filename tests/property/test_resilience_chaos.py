@@ -24,7 +24,7 @@ import repro.core.fusion as fusion_module
 import repro.core.product as product_module
 import repro.core.sparse as sparse_module
 from repro.core.fusion import generate_fusion
-from repro.core.resilience import KNOWN_STAGES, live_owned_segments
+from repro.core.resilience import KNOWN_STAGES, OWNER_STAGES, live_owned_segments
 from repro.machines import mod_counter
 from repro.utils.timing import Stopwatch
 
@@ -86,6 +86,26 @@ class TestChaosRecovery:
             "ledger_leaf", "closure_batch", "prune_shard", "merge_fold", "bfs_shard",
             "runtime_step",
         }
+        # The artifact store's owner-side stages are a separate, disjoint
+        # vocabulary: worker kills never fire there, owner kills only there.
+        assert set(OWNER_STAGES) == {"store_commit", "descent_level"}
+        assert not set(OWNER_STAGES) & set(KNOWN_STAGES)
+
+    def test_owner_kill_kinds_never_burn_budget_on_worker_stages(self):
+        from repro.core.resilience import ChaosSpec
+
+        spec = ChaosSpec.parse("kill_during_write=1.0,max=1,seed=2")
+        for stage in KNOWN_STAGES:
+            assert spec.draw(stage) is None
+        assert spec.draw("store_commit") == ("kill_during_write", 0.0)
+
+    def test_worker_kinds_never_fire_on_owner_stages(self):
+        from repro.core.resilience import ChaosSpec
+
+        spec = ChaosSpec.parse("worker_kill=1.0,max=1,seed=2")
+        for stage in OWNER_STAGES:
+            assert spec.draw(stage) is None
+        assert spec.draw("ledger_leaf") == ("worker_kill", 0.0)
 
     @pytest.mark.parametrize("stage", sorted(FUSION_STAGES))
     def test_worker_kill_in_each_stage_recovers_byte_identical(

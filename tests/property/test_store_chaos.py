@@ -1,0 +1,246 @@
+"""Crash-durability property tests: SIGKILL the owner, resume, compare.
+
+The artifact store's acceptance contract, proven process-for-real:
+
+* ``kill_during_write`` SIGKILLs the owner *mid artifact commit*,
+  leaving a deliberately torn file at the final name — the restarted
+  run must quarantine it, recompute, and finish with bytes identical
+  to an undisturbed run.
+* ``kill_between_levels`` SIGKILLs the owner right after a descent
+  level checkpoint commits — the restarted run must resume from that
+  committed level (never from scratch) and produce identical bytes.
+* In both cases the dead owner's advisory lock is reclaimed by the
+  restarted run and zero lock files survive the rerun.
+* Two live processes sharing one store serialise on the run lock: one
+  computes, the other blocks and then warm-loads the committed result.
+* SIGINT during a hung pooled task tears the worker pool down without
+  stranding a single owned ``/dev/shm`` segment.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Child: one store-backed fusion run; prints a JSON line with the
+#: summary, a digest of the partition labels, and the store counters.
+_FUSION_CHILD = r"""
+import hashlib, json, sys
+from repro.core.fusion import generate_fusion
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+store_root = sys.argv[1]
+machines = [
+    mod_counter(3, count_event=e, events=tuple(range(6)), name="c%d" % e)
+    for e in range(6)
+]
+watch = Stopwatch()
+result = generate_fusion(machines, 3, store=store_root, stopwatch=watch)
+labels = hashlib.sha256()
+for partition in result.partitions:
+    labels.update(partition.labels.tobytes())
+print(json.dumps({
+    "summary": result.summary(),
+    "labels": labels.hexdigest(),
+    "store": watch.extras("store"),
+    "stages": sorted(watch.as_dict()),
+}))
+"""
+
+
+def _run_child(store_root: str, chaos: str = "", timeout: float = 120.0):
+    env = dict(os.environ, PYTHONPATH=_SRC_DIR)
+    env.pop("REPRO_CHAOS", None)
+    if chaos:
+        env["REPRO_CHAOS"] = chaos
+    return subprocess.run(
+        [sys.executable, "-c", _FUSION_CHILD, store_root],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _reference(tmp_path) -> dict:
+    """An undisturbed run against a throwaway store: the byte oracle."""
+    root = str(tmp_path / "reference-store")
+    completed = _run_child(root)
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+def _lock_files(store_root: str):
+    return glob.glob(os.path.join(store_root, "*", "*.lock"))
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize(
+        "chaos",
+        [
+            "kill_during_write=1.0,max=1,seed=5",
+            "kill_between_levels=1.0,max=1,seed=3",
+        ],
+        ids=["kill_during_write", "kill_between_levels"],
+    )
+    def test_sigkilled_run_resumes_byte_identical(self, tmp_path, chaos):
+        reference = _reference(tmp_path)
+        store_root = str(tmp_path / "store")
+
+        crashed = _run_child(store_root, chaos=chaos)
+        assert crashed.returncode == -signal.SIGKILL, (
+            "the chaos plan must SIGKILL the owner; got rc=%s stderr=%s"
+            % (crashed.returncode, crashed.stderr)
+        )
+        assert _lock_files(store_root), "the dead owner must leave its lock behind"
+
+        resumed = _run_child(store_root)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(resumed.stdout)
+        assert payload["summary"] == reference["summary"]
+        assert payload["labels"] == reference["labels"]
+        assert payload["store"]["stale_locks"] >= 1, (
+            "the resumed run must reclaim the dead owner's lock"
+        )
+        assert _lock_files(store_root) == [], "no lock may survive a clean finish"
+
+    def test_kill_during_write_leaves_torn_artifact_then_quarantines(self, tmp_path):
+        reference = _reference(tmp_path)
+        store_root = str(tmp_path / "store")
+        crashed = _run_child(store_root, chaos="kill_during_write=1.0,max=1,seed=5")
+        assert crashed.returncode == -signal.SIGKILL
+
+        resumed = _run_child(store_root)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(resumed.stdout)
+        assert payload["store"]["quarantined"] >= 1, (
+            "the torn final-name artifact must be quarantined, not loaded"
+        )
+        quarantined = glob.glob(os.path.join(store_root, "*", "quarantine", "*"))
+        assert quarantined, "quarantined files must be kept aside for forensics"
+        assert payload["labels"] == reference["labels"]
+
+    def test_kill_between_levels_resumes_from_checkpoint(self, tmp_path):
+        reference = _reference(tmp_path)
+        store_root = str(tmp_path / "store")
+        crashed = _run_child(store_root, chaos="kill_between_levels=1.0,max=1,seed=3")
+        assert crashed.returncode == -signal.SIGKILL
+        checkpoints = glob.glob(os.path.join(store_root, "*", "descent-*.npz"))
+        assert checkpoints, "the kill fires only after a checkpoint committed"
+
+        resumed = _run_child(store_root)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(resumed.stdout)
+        assert payload["store"]["resumed_levels"] >= 1, (
+            "the restarted descent must start from the committed level"
+        )
+        assert payload["labels"] == reference["labels"]
+
+
+class TestTwoProcessContention:
+    def test_loser_blocks_then_warm_loads(self, tmp_path):
+        reference = _reference(tmp_path)
+        store_root = str(tmp_path / "store")
+        env = dict(os.environ, PYTHONPATH=_SRC_DIR)
+        env.pop("REPRO_CHAOS", None)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _FUSION_CHILD, store_root],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        payloads = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            payloads.append(json.loads(out))
+
+        for payload in payloads:
+            assert payload["summary"] == reference["summary"]
+            assert payload["labels"] == reference["labels"]
+        # Exactly one process computed; the other serialised on the run
+        # lock and reused its artifacts.  The loser may still have raced
+        # the winner to the machines.npz manifest (benign: identical
+        # bytes, atomic replace), so its commit count is at most that
+        # one — never the >= 3 commits (product + ledger + checkpoints +
+        # result) a computing run performs — and it must not have run
+        # any compute stage at all.
+        payloads.sort(key=lambda p: p["store"]["commits"])
+        loser, winner = payloads
+        assert loser["store"]["commits"] <= 1, (
+            "the losing process must warm-load, not recompute"
+        )
+        assert winner["store"]["commits"] >= 3, (
+            "the winning process must commit its artifacts"
+        )
+        for stage in ("product_build", "ledger_build", "descent"):
+            assert stage not in loser["stages"], (
+                "the losing process recomputed %s" % stage
+            )
+            assert stage in winner["stages"]
+        assert _lock_files(store_root) == []
+
+
+class TestSigintTeardown:
+    def test_sigint_mid_hang_leaves_zero_owned_segments(self, tmp_path):
+        """Ctrl-C while a pooled task hangs: the pool must hard-kill its
+        workers and unlink every owned segment instead of deadlocking in
+        the executor join (satellite of the durability PR; the fix is
+        ``SharedWorkerPool.interrupt``)."""
+        child = r"""
+import sys
+from repro.core.fusion import generate_fusion
+from repro.core.resilience import live_owned_segments
+from repro.machines import mod_counter
+machines = [
+    mod_counter(3, count_event=e, events=tuple(range(9)), name="c%d" % e)
+    for e in range(9)
+]
+print("STARTING", flush=True)
+try:
+    generate_fusion(machines, 2, workers=2)
+    print("FINISHED-UNINTERRUPTED", flush=True)
+except KeyboardInterrupt:
+    leaked = live_owned_segments()
+    print("LEAKED %r" % (leaked,) if leaked else "CLEAN", flush=True)
+"""
+        env = dict(
+            os.environ,
+            PYTHONPATH=_SRC_DIR,
+            REPRO_FUSION_WORKERS="2",
+            REPRO_CHAOS="task_hang=1.0,stages=ledger_leaf,max=1,seed=1,hang_s=120",
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "STARTING"
+            # Give the run time to publish bundles and hit the hung wave.
+            time.sleep(3.0)
+            os.kill(proc.pid, signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, err
+        assert out.strip() == "CLEAN", out

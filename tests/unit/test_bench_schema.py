@@ -32,7 +32,40 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/5"
+    assert _payload()["schema"] == "repro-bench-perf/6"
+
+
+def test_store_block_records_crash_recovery_evidence():
+    """Schema v6: the artifact store's durability proof travels with the file.
+
+    The committed trajectory must carry the crash smoke's evidence
+    (``benchmarks/bench_store_smoke.py``): a seeded SIGKILL between
+    descent levels, a chaos-free resume that reclaimed the dead owner's
+    lock and replayed at least one committed checkpoint byte-identically,
+    and a warm-cache hit that recomputed nothing — no ``product_build``,
+    ``ledger_build`` or ``descent`` stage, zero commits — faster than
+    the resumed computation it short-circuits.
+    """
+    store = _payload().get("store")
+    assert store is not None, "BENCH_perf.json is missing the store block"
+    assert store["case"] == "counters-9 (top=19683)"
+    assert "kill_between_levels" in store["chaos"]
+    assert store["byte_identical"] is True
+    resume = store["resume_stats"]
+    assert resume["resumed_levels"] >= 1, "the resume replayed no checkpoint"
+    assert resume["stale_locks"] >= 1, "the dead owner's lock was never reclaimed"
+    assert resume["checkpoints"] >= 1
+    assert store["warm_hit_seconds"] > 0
+    assert store["warm_hit_seconds"] < store["resume_seconds"]
+    warm = store["store_stats"]
+    assert warm["commits"] == 0, "a warm hit must write nothing"
+    assert warm["hits"] >= 1 and warm["quarantined"] == 0
+    assert not {"product_build", "ledger_build", "descent"} & set(
+        store["warm_stages"]
+    )
+    for stats in (resume, warm):
+        for field, value in stats.items():
+            assert isinstance(value, int), field
 
 
 def test_runtime_block_records_fleet_scale_throughput():

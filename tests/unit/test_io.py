@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro import ClosedPartitionLattice, FaultGraph, SerializationError, generate_fusion
+from repro.core.exceptions import MalformedMachineError
 from repro.io import (
     dump_machine,
     dumps_machine,
@@ -19,7 +20,15 @@ from repro.io import (
     machine_to_dict,
     machine_to_dot,
 )
-from repro.machines import available_machines, fig2_machine_a, get_machine, mesi, tcp
+from repro.machines import (
+    available_machines,
+    fig2_machine_a,
+    get_machine,
+    mesi,
+    random_dfsm,
+    random_machine_family,
+    tcp,
+)
 
 
 class TestJsonRoundTrip:
@@ -110,3 +119,106 @@ class TestDotExport:
     def test_every_registry_machine_exports(self):
         for name in available_machines():
             assert machine_to_dot(get_machine(name))
+
+
+class TestMalformedMachineDiagnostics:
+    """Satellite of the durability PR: ``machine_from_dict`` names the
+    offending field in a typed :class:`MalformedMachineError` instead of
+    failing deep inside ``DFSM`` construction."""
+
+    def _doc(self, **overrides):
+        data = machine_to_dict(mesi())
+        data.update(overrides)
+        return data
+
+    def test_non_mapping_document(self):
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict([1, 2, 3])
+        assert excinfo.value.field == "document"
+
+    def test_missing_field_named(self):
+        data = self._doc()
+        del data["transitions"]
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "transitions"
+        assert "missing" in str(excinfo.value)
+
+    def test_duplicate_state_labels_reported(self):
+        data = self._doc()
+        data["states"][1] = data["states"][0]
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "states"
+        assert "duplicate" in str(excinfo.value)
+        assert repr(mesi().states[0]) in str(excinfo.value)
+
+    def test_duplicate_events_reported(self):
+        data = self._doc()
+        data["events"][1] = data["events"][0]
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "events"
+
+    def test_unknown_initial_state(self):
+        data = self._doc(initial="NOT-A-STATE")
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "initial"
+        assert "NOT-A-STATE" in str(excinfo.value)
+
+    def test_wrong_row_count(self):
+        data = self._doc()
+        data["transitions"] = data["transitions"][:-1]
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "transitions"
+
+    def test_wrong_row_length(self):
+        data = self._doc()
+        data["transitions"][2] = data["transitions"][2][:-1]
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "transitions"
+        assert "row 2" in str(excinfo.value)
+
+    def test_transition_to_unknown_state_index(self):
+        data = self._doc()
+        data["transitions"][1][0] = 99
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "transitions"
+        message = str(excinfo.value)
+        assert "row 1" in message and "99" in message and "unknown state" in message
+
+    def test_non_integer_transition_target(self):
+        data = self._doc()
+        data["transitions"][0][1] = True  # bools are not state indices
+        with pytest.raises(MalformedMachineError) as excinfo:
+            machine_from_dict(data)
+        assert excinfo.value.field == "transitions"
+
+    def test_malformed_error_is_a_serialization_error(self):
+        # Callers catching the broad class keep working.
+        with pytest.raises(SerializationError):
+            machine_from_dict({"format": "repro.dfsm/1"})
+
+
+class TestRandomMachineRoundTrip:
+    """Property: every random machine survives dict and string round-trips."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_family_roundtrip(self, seed):
+        machines = random_machine_family(
+            count=3, num_states=4, events=("a", "b", 0), rng=seed
+        )
+        for machine in machines:
+            assert machine_from_dict(machine_to_dict(machine)) == machine
+            assert loads_machine(dumps_machine(machine)) == machine
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unpruned_roundtrip(self, seed):
+        machine = random_dfsm(6, events=(0, 1), rng=seed)
+        round_tripped = loads_machine(dumps_machine(machine))
+        assert round_tripped == machine
+        assert round_tripped.name == machine.name

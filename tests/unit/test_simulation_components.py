@@ -238,6 +238,8 @@ class TestFaultPlans:
         assert isinstance(spec, ChaosSpec)
         assert spec.active
         assert FaultKind.WORKER_KILL.targets_engine
+        assert FaultKind.KILL_DURING_WRITE.targets_engine
+        assert FaultKind.KILL_BETWEEN_LEVELS.targets_engine
         assert not FaultKind.CRASH.targets_engine
         # Same seed as the env-spec path, same deterministic draws.
         reference = ChaosSpec.parse("worker_kill=1.0,stages=ledger_leaf,max=1,seed=7")
