@@ -86,6 +86,17 @@ byte-identically, and the warm-cache hit latency of a fully cached
 call that skipped ``product_build``, ``ledger_build`` and ``descent``.
 All three harnesses preserve each other's blocks; ``--check`` and
 ``tests/unit/test_bench_schema.py`` validate the committed evidence.
+
+Schema ``repro-bench-perf/7`` (PR 9) adds a top-level ``network`` block
+written by ``benchmarks/bench_network_chaos_smoke.py``: the adversarial
+network fabric's resilience evidence — a seeded drop/reorder/partition
+schedule injected between the coordinator and the machine-zoo fleet,
+defeated by the delivery protocol (sequence numbers, exactly-once
+application, retry with backoff, heartbeats) so both execution engines
+finish byte-identical to a fabric-free reference, plus an ``f_sweep``
+(``f = 1..3``) recording fusion-generation seconds and delivery counts
+at increasing redundancy.  All four harnesses preserve each other's
+blocks.
 """
 
 from __future__ import annotations
@@ -140,10 +151,12 @@ RESULT_PATH = os.path.join(
 )
 
 #: Current payload schema, shared with ``bench_runtime_throughput.py``
-#: (which contributes the top-level ``runtime`` block) and
-#: ``bench_store_smoke.py`` (the top-level ``store`` block), asserted
-#: against the committed file by ``tests/unit/test_bench_schema.py``.
-SCHEMA = "repro-bench-perf/6"
+#: (which contributes the top-level ``runtime`` block),
+#: ``bench_store_smoke.py`` (the top-level ``store`` block) and
+#: ``bench_network_chaos_smoke.py`` (the top-level ``network`` block),
+#: asserted against the committed file by
+#: ``tests/unit/test_bench_schema.py``.
+SCHEMA = "repro-bench-perf/7"
 
 #: Wall-clock seconds at the seed commit (pre-PR dense/Python engine),
 #: measured on the reference container.  ``counters-6`` had no pre-PR
@@ -307,6 +320,48 @@ def store_block_is_consistent(block) -> bool:
     return not forbidden & set(block["warm_stages"])
 
 
+#: Fields the top-level ``network`` block must carry (schema
+#: ``repro-bench-perf/7``, written by ``bench_network_chaos_smoke.py``):
+#: the fabric's resilience evidence plus the f-sweep trajectory.
+NETWORK_BLOCK_FIELDS = (
+    "case", "chaos", "events", "engines", "fault_free_equivalent",
+    "run_seconds", "delivery", "f_sweep", "shm_stranded",
+)
+
+
+def network_block_is_consistent(block) -> bool:
+    """Schema-v7 invariants for the network-resilience evidence.
+
+    The block must attest a fault-free-equivalent run on both execution
+    engines under a chaos schedule that actually fired (``dropped > 0``
+    in the delivery summary), an ``f_sweep`` covering ``f = 1..3`` in
+    which every run stayed healthy with positive fusion-generation
+    seconds, and zero stranded ``/dev/shm`` segments.
+    """
+    if block is None or not all(field in block for field in NETWORK_BLOCK_FIELDS):
+        return False
+    if block["fault_free_equivalent"] is not True:
+        return False
+    if set(block["engines"]) != {"vectorized", "python"}:
+        return False
+    delivery = block["delivery"]
+    if delivery.get("delivered", 0) <= 0 or delivery.get("dropped", 0) <= 0:
+        return False
+    if block["shm_stranded"] != 0:
+        return False
+    sweep = {entry["f"]: entry for entry in block["f_sweep"]}
+    if sorted(sweep) != [1, 2, 3]:
+        return False
+    for entry in sweep.values():
+        if entry["status"] != "healthy":
+            return False
+        if not entry["fusion_seconds"] > 0 or entry["delivered"] <= 0:
+            return False
+        if entry["backups"] < 1 or entry["fleet"] <= entry["backups"]:
+            return False
+    return True
+
+
 def stage_entries_are_consistent(stages: Dict[str, Dict[str, float]]) -> bool:
     """Schema-v3 stage invariants: every entry carries both clocks.
 
@@ -446,7 +501,11 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
             "benchmarks/bench_runtime_throughput.py. The top-level store "
             "block is the artifact store's crash-durability evidence "
             "(SIGKILL mid-descent, byte-identical resume, warm-cache hit "
-            "latency), written by benchmarks/bench_store_smoke.py"
+            "latency), written by benchmarks/bench_store_smoke.py. The "
+            "top-level network block is the adversarial fabric's "
+            "resilience evidence (seeded drop/reorder/partition schedule "
+            "defeated byte-identically on both engines, f-sweep at "
+            "f=1..3), written by benchmarks/bench_network_chaos_smoke.py"
         ),
         "cases": cases,
     }
@@ -455,13 +514,14 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
 def write_results(rounds: int = 1, path: str = RESULT_PATH) -> Dict[str, object]:
     payload = run_suite(rounds=rounds)
     # Preserve the streaming-runtime trajectory contributed by
-    # bench_runtime_throughput.py and the crash-durability evidence
-    # contributed by bench_store_smoke.py; only the fusion cases are
-    # re-measured here.
+    # bench_runtime_throughput.py, the crash-durability evidence
+    # contributed by bench_store_smoke.py and the network-resilience
+    # evidence contributed by bench_network_chaos_smoke.py; only the
+    # fusion cases are re-measured here.
     if os.path.exists(path):
         with open(path) as handle:
             previous = json.load(handle)
-        for block in ("runtime", "store"):
+        for block in ("runtime", "store", "network"):
             if block in previous:
                 payload[block] = previous[block]
     with open(path, "w") as handle:
@@ -637,6 +697,11 @@ def main(argv: Sequence[str]) -> int:
             failures.append(
                 "store block (run benchmarks/bench_store_smoke.py to "
                 "regenerate the crash-durability evidence)"
+            )
+        if not network_block_is_consistent(payload.get("network")):
+            failures.append(
+                "network block (run benchmarks/bench_network_chaos_smoke.py "
+                "to regenerate the network-resilience evidence)"
             )
         if failures:
             print("FAILED cases: %s" % ", ".join(failures))

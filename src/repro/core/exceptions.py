@@ -21,6 +21,7 @@ __all__ = [
     "SegmentLeakError",
     "RecoveryError",
     "FaultToleranceExceededError",
+    "FaultBudgetExceededError",
     "SimulationError",
     "SerializationError",
     "MalformedMachineError",
@@ -100,6 +101,87 @@ class RecoveryError(ReproError):
 
 class FaultToleranceExceededError(RecoveryError):
     """More faults were injected than the system was designed to tolerate."""
+
+
+class FaultBudgetExceededError(FaultToleranceExceededError):
+    """The observed faults overran the system's fault budget.
+
+    Unlike the bare :class:`FaultToleranceExceededError` message, this
+    exception *names the culprits*: which machines crashed or are
+    suspected of lying, how heavily the observation weighs against the
+    budget (a Byzantine machine costs two crash units — Theorem 2's
+    ``dmin > 2f``), and what the budget was.  Raised by both Algorithm-3
+    engines (:class:`~repro.core.recovery.RecoveryEngine` and
+    :class:`~repro.core.runtime.BatchRecovery`, with byte-identical
+    messages) and by the fleet supervisor when it refuses a recovery
+    that could be silently wrong.
+
+    Attributes
+    ----------
+    culprits:
+        Names of the machines charged against the budget (crashed
+        first, then suspected Byzantine, each in engine machine order).
+    observed:
+        Total budget units observed (crashes + 2 × suspected liars).
+    tolerated:
+        The budget those units overran (the system's ``f``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        culprits: tuple = (),
+        observed: int = 0,
+        tolerated: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.culprits = tuple(culprits)
+        self.observed = int(observed)
+        self.tolerated = int(tolerated)
+
+    @classmethod
+    def for_crashes(cls, culprits, tolerated: int) -> "FaultBudgetExceededError":
+        """The canonical crash-overrun error, shared by both engines.
+
+        Both Algorithm-3 implementations raise through this constructor
+        so their messages stay byte-identical (the equivalence property
+        suite asserts it).
+        """
+        culprits = tuple(culprits)
+        return cls(
+            "%d machines crashed (%s) but the system is designed for at most "
+            "%d faults" % (len(culprits), ", ".join(culprits), int(tolerated)),
+            culprits=culprits,
+            observed=len(culprits),
+            tolerated=tolerated,
+        )
+
+    @classmethod
+    def for_budget(
+        cls,
+        crashed,
+        suspected_byzantine,
+        tolerated: int,
+    ) -> "FaultBudgetExceededError":
+        """The supervisor's mixed crash/Byzantine overrun error."""
+        crashed = tuple(crashed)
+        suspected = tuple(suspected_byzantine)
+        observed = len(crashed) + 2 * len(suspected)
+        return cls(
+            "fault budget exceeded: %d crashed (%s) and %d suspected Byzantine "
+            "(%s) weigh %d units against a budget of f=%d"
+            % (
+                len(crashed),
+                ", ".join(crashed) or "none",
+                len(suspected),
+                ", ".join(suspected) or "none",
+                observed,
+                int(tolerated),
+            ),
+            culprits=crashed + suspected,
+            observed=observed,
+            tolerated=tolerated,
+        )
 
 
 class SimulationError(ReproError):

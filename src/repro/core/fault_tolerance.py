@@ -30,6 +30,7 @@ from .partition import partition_from_machine
 from .product import CrossProduct
 
 __all__ = [
+    "FaultBudget",
     "FaultToleranceProfile",
     "system_fault_graph",
     "system_dmin",
@@ -42,6 +43,52 @@ __all__ = [
     "minimum_backups_required",
     "required_dmin",
 ]
+
+
+@dataclass(frozen=True)
+class FaultBudget:
+    """The live fault budget of an ``f``-fused system.
+
+    Operational form of Theorems 1–2 for the supervision layer: a
+    system fused for ``f`` crash faults has ``dmin = f + 1``, so it
+    simultaneously tolerates ``f`` crashes (Theorem 1), ``⌊f/2⌋``
+    Byzantine liars (Theorem 2), and any mix in which a liar costs two
+    crash units — ``crashes + 2 · liars ≤ f`` keeps the Algorithm-3
+    majority argument sound.
+
+    >>> FaultBudget(3).crash_budget, FaultBudget(3).byzantine_budget
+    (3, 1)
+    >>> FaultBudget(3).allows(crashes=1, byzantine=1)
+    True
+    >>> FaultBudget(3).allows(crashes=2, byzantine=1)
+    False
+    """
+
+    f: int
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError("fault budget f must be non-negative")
+
+    @property
+    def crash_budget(self) -> int:
+        """Crashes tolerated on their own (Theorem 1: ``f``)."""
+        return self.f
+
+    @property
+    def byzantine_budget(self) -> int:
+        """Liars tolerated on their own (Theorem 2: ``⌊f/2⌋``)."""
+        return self.f // 2
+
+    def weight(self, crashes: int, byzantine: int) -> int:
+        """Budget units consumed: a liar costs two crash units."""
+        return int(crashes) + 2 * int(byzantine)
+
+    def allows(self, crashes: int, byzantine: int) -> bool:
+        """True iff the observed fault mix stays inside the budget."""
+        if crashes < 0 or byzantine < 0:
+            raise ValueError("fault counts must be non-negative")
+        return self.weight(crashes, byzantine) <= self.f
 
 
 @dataclass(frozen=True)

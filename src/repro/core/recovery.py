@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 import numpy as np
 
 from .dfsm import DFSM
-from .exceptions import FaultToleranceExceededError, RecoveryError
+from .exceptions import FaultBudgetExceededError, RecoveryError
 from .partition import Partition, partition_from_machine, set_representation
 from .product import CrossProduct
 from .types import StateLabel, StateTuple
@@ -226,7 +226,8 @@ class RecoveryEngine:
         expected_max_faults:
             When given, the number of crashed machines is checked against
             this bound up front and
-            :class:`FaultToleranceExceededError` is raised if exceeded.
+            :class:`~repro.core.exceptions.FaultBudgetExceededError`
+            (naming the crashed machines) is raised if exceeded.
 
         Returns
         -------
@@ -246,10 +247,7 @@ class RecoveryEngine:
                 reported.append((name, self.block_of(name, state)))
 
         if expected_max_faults is not None and len(crashed) > expected_max_faults:
-            raise FaultToleranceExceededError(
-                "%d machines crashed but the system is designed for at most %d faults"
-                % (len(crashed), expected_max_faults)
-            )
+            raise FaultBudgetExceededError.for_crashes(crashed, expected_max_faults)
         if not reported:
             raise RecoveryError("every machine crashed; nothing to recover from")
 

@@ -48,7 +48,7 @@ import numpy as np
 
 from .dfsm import DFSM
 from .exceptions import (
-    FaultToleranceExceededError,
+    FaultBudgetExceededError,
     RecoveryError,
     SimulationError,
     UnknownStateError,
@@ -795,9 +795,12 @@ class BatchRecovery:
         if expected_max_faults is not None:
             over = num_crashed > expected_max_faults
             if over.any():
-                raise FaultToleranceExceededError(
-                    "%d machines crashed but the system is designed for at most %d faults"
-                    % (int(num_crashed[over.argmax()]), expected_max_faults)
+                instance = int(over.argmax())
+                culprits = [
+                    self._names[m] for m in np.nonzero(crashed[:, instance])[0]
+                ]
+                raise FaultBudgetExceededError.for_crashes(
+                    culprits, expected_max_faults
                 )
         if (num_crashed == num_machines).any():
             raise RecoveryError("every machine crashed; nothing to recover from")

@@ -10,6 +10,13 @@ mode).
 
 from .client import Client, Environment
 from .coordinator import CoordinatorReport, FusionCoordinator, ReplicationCoordinator
+from .fabric import (
+    FabricStats,
+    NetworkChaosSpec,
+    NetworkFabric,
+    NetworkFaultKind,
+    network_chaos_from_env,
+)
 from .events import (
     WorkloadGenerator,
     merge_workloads,
@@ -18,6 +25,7 @@ from .events import (
 )
 from .faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from .server import Server, ServerStatus, VectorServer
+from .supervisor import FleetStatus, FleetSupervisor, SupervisorReport
 from .system import DistributedSystem, SimulationReport, resolve_engine
 from .trace import ExecutionTrace, TraceRecord, TraceRecordKind
 
@@ -27,6 +35,14 @@ __all__ = [
     "CoordinatorReport",
     "FusionCoordinator",
     "ReplicationCoordinator",
+    "FabricStats",
+    "NetworkChaosSpec",
+    "NetworkFabric",
+    "NetworkFaultKind",
+    "network_chaos_from_env",
+    "FleetStatus",
+    "FleetSupervisor",
+    "SupervisorReport",
     "WorkloadGenerator",
     "merge_workloads",
     "protocol_workload",

@@ -19,6 +19,7 @@ from ..core.types import StateLabel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.resilience import ChaosSpec
+    from .fabric import NetworkChaosSpec
 
 __all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]
 
@@ -27,11 +28,21 @@ class FaultKind(enum.Enum):
     """Every fault class the repo can inject.
 
     ``CRASH`` and ``BYZANTINE`` are the paper's system-model faults,
-    scheduled against simulated servers by :class:`FaultPlan`.  The
-    remaining kinds target the *engine* running the fusion computation —
-    they mirror :class:`repro.core.resilience.EngineFaultKind` (values
-    match member for member) and are injected into pool workers via
+    scheduled against simulated servers by :class:`FaultPlan`.
+
+    ``WORKER_KILL`` … ``KILL_BETWEEN_LEVELS`` target the *engine*
+    running the fusion computation — they mirror
+    :class:`repro.core.resilience.EngineFaultKind` (values match member
+    for member) and are injected into pool workers via
     :meth:`FaultInjector.engine_chaos`, never into simulated servers.
+
+    ``DROP`` … ``PARTITION`` target the *network* between the
+    coordinator and the simulated servers — they mirror
+    :class:`repro.simulation.fabric.NetworkFaultKind` and are injected
+    into message deliveries via a seeded
+    :class:`~repro.simulation.fabric.NetworkChaosSpec`
+    (:meth:`FaultInjector.network_chaos`), never scheduled directly
+    against servers.
     """
 
     CRASH = "crash"
@@ -41,11 +52,21 @@ class FaultKind(enum.Enum):
     SLOW_TASK = "slow_task"
     KILL_DURING_WRITE = "kill_during_write"
     KILL_BETWEEN_LEVELS = "kill_between_levels"
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    DELAY = "delay"
+    PARTITION = "partition"
 
     @property
     def targets_engine(self) -> bool:
         """True for faults aimed at the engine, not simulated servers."""
         return self in _ENGINE_KINDS
+
+    @property
+    def targets_network(self) -> bool:
+        """True for faults aimed at message deliveries, not servers."""
+        return self in _NETWORK_KINDS
 
 
 _SERVER_KINDS = frozenset({FaultKind.CRASH, FaultKind.BYZANTINE})
@@ -56,6 +77,15 @@ _ENGINE_KINDS = frozenset(
         FaultKind.SLOW_TASK,
         FaultKind.KILL_DURING_WRITE,
         FaultKind.KILL_BETWEEN_LEVELS,
+    }
+)
+_NETWORK_KINDS = frozenset(
+    {
+        FaultKind.DROP,
+        FaultKind.DUPLICATE,
+        FaultKind.REORDER,
+        FaultKind.DELAY,
+        FaultKind.PARTITION,
     }
 )
 
@@ -94,6 +124,13 @@ class FaultPlan:
         servers = [e.server for e in self.events]
         if len(set(servers)) != len(servers):
             raise SimulationError("a fault plan may fail each server at most once")
+        networked = [e for e in self.events if e.kind in _NETWORK_KINDS]
+        if networked:
+            raise SimulationError(
+                "network faults (%s) cannot be scheduled against servers; "
+                "use FaultInjector.network_chaos instead"
+                % ", ".join(sorted({e.kind.value for e in networked}))
+            )
         misdirected = [e for e in self.events if e.kind not in _SERVER_KINDS]
         if misdirected:
             raise SimulationError(
@@ -238,6 +275,57 @@ class FaultInjector:
                 EngineFaultKind.KILL_BETWEEN_LEVELS: kill_between_levels,
             },
             stages=tuple(stages) if stages is not None else None,
+            max_faults=max_faults,
+            seed=seed,
+        )
+
+    def network_chaos(
+        self,
+        seed: int,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        delay: float = 0.0,
+        partition: float = 0.0,
+        max_delay_ticks: int = 3,
+        partition_ticks: int = 6,
+        servers: Optional[Sequence[str]] = None,
+        max_faults: Optional[int] = None,
+    ) -> "NetworkChaosSpec":
+        """A seeded chaos plan for the *network* between coordinator and servers.
+
+        Network faults strike message deliveries rather than the servers
+        themselves, so they live in a
+        :class:`~repro.simulation.fabric.NetworkChaosSpec` handed to the
+        :class:`~repro.simulation.fabric.NetworkFabric` instead of a
+        :class:`FaultPlan`.  The probabilities give the per-delivery
+        chance of a drop, duplication, reordering (deferred stale copy),
+        bounded delay, or link partition; ``servers`` restricts
+        injection to the named links; ``max_faults`` bounds the total
+        faults injected.  The spec's draws are deterministic in
+        ``seed``, exactly like :meth:`random_plan` is in the injector's
+        seed.
+        """
+        from .fabric import NetworkChaosSpec, NetworkFaultKind
+
+        named = tuple(servers) if servers is not None else None
+        if named is not None:
+            unknown = [name for name in named if name not in self._servers]
+            if unknown:
+                raise SimulationError(
+                    "network chaos names unknown servers: %r" % unknown
+                )
+        return NetworkChaosSpec(
+            {
+                NetworkFaultKind.DROP: drop,
+                NetworkFaultKind.DUPLICATE: duplicate,
+                NetworkFaultKind.REORDER: reorder,
+                NetworkFaultKind.DELAY: delay,
+                NetworkFaultKind.PARTITION: partition,
+            },
+            max_delay_ticks=max_delay_ticks,
+            partition_ticks=partition_ticks,
+            servers=named,
             max_faults=max_faults,
             seed=seed,
         )

@@ -31,9 +31,12 @@ from ..core.product import CrossProduct
 from ..core.replication import ReplicatedSystem
 from ..core.runtime import VectorizedRuntime
 from ..core.types import EventLabel, StateLabel
+from ..core.exceptions import FaultBudgetExceededError
 from .coordinator import CoordinatorReport, FusionCoordinator, ReplicationCoordinator
+from .fabric import NetworkChaosSpec, NetworkFabric, network_chaos_from_env
 from .faults import FaultEvent, FaultKind, FaultPlan
 from .server import Server, ServerStatus, VectorServer
+from .supervisor import FleetStatus, FleetSupervisor, SupervisorReport
 from .trace import ExecutionTrace
 
 __all__ = ["SimulationReport", "DistributedSystem", "resolve_engine"]
@@ -82,6 +85,14 @@ class SimulationReport:
         Size of the backup fleet, for cost comparisons.
     trace:
         The full execution trace.
+    status:
+        ``"healthy"``, or ``"degraded"`` when a supervised run breached
+        its fault budget and recovery was refused.
+    culprits:
+        The machines the supervisor blamed for a degraded run.
+    delivery:
+        Per-outcome delivery-attempt counts of the network fabric
+        (``None`` when the run had no fabric).
     """
 
     events_applied: int
@@ -93,6 +104,9 @@ class SimulationReport:
     num_backups: int
     backup_state_space: int
     trace: ExecutionTrace
+    status: str = "healthy"
+    culprits: Tuple[str, ...] = ()
+    delivery: Optional[Dict[str, int]] = None
 
 
 class DistributedSystem:
@@ -117,6 +131,9 @@ class DistributedSystem:
         backup_state_space: int,
         max_faults: Optional[int] = None,
         engine: Optional[str] = None,
+        network: Optional[NetworkChaosSpec] = None,
+        supervised: bool = False,
+        heartbeat_interval: Optional[int] = None,
     ) -> None:
         if not originals:
             raise SimulationError("a distributed system needs at least one original machine")
@@ -146,6 +163,28 @@ class DistributedSystem:
         self._max_faults = max_faults
         self._trace = ExecutionTrace()
         self._steps = 0
+        if network is None:
+            network = network_chaos_from_env()
+        self._fabric: Optional[NetworkFabric] = (
+            NetworkFabric(self._servers, chaos=network, trace=self._trace)
+            if network is not None
+            else None
+        )
+        if heartbeat_interval is not None and heartbeat_interval < 1:
+            raise SimulationError("heartbeat_interval must be at least 1 event")
+        if heartbeat_interval is not None and self._fabric is None:
+            raise SimulationError("heartbeats need a network fabric (pass network=...)")
+        self._heartbeat_interval = heartbeat_interval
+        if supervised and not isinstance(coordinator, FusionCoordinator):
+            raise SimulationError(
+                "supervised mode needs a fusion coordinator (the budget "
+                "cross-check votes over fused backups)"
+            )
+        self._supervisor: Optional[FleetSupervisor] = (
+            FleetSupervisor(coordinator, f=max_faults or 0, trace=self._trace)
+            if supervised and isinstance(coordinator, FusionCoordinator)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Factories
@@ -158,11 +197,19 @@ class DistributedSystem:
         byzantine: bool = False,
         fusion: Optional[FusionResult] = None,
         engine: Optional[str] = None,
+        network: Optional[NetworkChaosSpec] = None,
+        supervised: bool = False,
+        heartbeat_interval: Optional[int] = None,
     ) -> "DistributedSystem":
         """Build a system protected by Algorithm-2 fusion backups.
 
         A pre-computed :class:`FusionResult` can be passed to avoid
-        regenerating the backups.
+        regenerating the backups.  ``network`` routes the event broadcast
+        through an adversarial :class:`~repro.simulation.fabric.NetworkFabric`
+        with the given seeded chaos; ``supervised`` puts a
+        :class:`~repro.simulation.supervisor.FleetSupervisor` in charge of
+        recovery, enforcing the live fault budget; ``heartbeat_interval``
+        makes the fabric probe every server every that many events.
         """
         if fusion is None:
             fusion = generate_fusion(machines, f, byzantine=byzantine)
@@ -178,6 +225,9 @@ class DistributedSystem:
             backup_state_space=fusion.fusion_state_space,
             max_faults=fusion.f if not byzantine else fusion.byzantine_f,
             engine=resolved,
+            network=network,
+            supervised=supervised,
+            heartbeat_interval=heartbeat_interval,
         )
 
     @classmethod
@@ -187,6 +237,7 @@ class DistributedSystem:
         f: int,
         byzantine: bool = False,
         engine: Optional[str] = None,
+        network: Optional[NetworkChaosSpec] = None,
     ) -> "DistributedSystem":
         """Build a system protected by the replication baseline."""
         replicated = ReplicatedSystem(machines, f, byzantine=byzantine)
@@ -199,11 +250,15 @@ class DistributedSystem:
             backup_state_space=replicated.backup_state_space,
             max_faults=f,
             engine=engine,
+            network=network,
         )
 
     @classmethod
     def unprotected(
-        cls, machines: Sequence[DFSM], engine: Optional[str] = None
+        cls,
+        machines: Sequence[DFSM],
+        engine: Optional[str] = None,
+        network: Optional[NetworkChaosSpec] = None,
     ) -> "DistributedSystem":
         """A system with no backups (recovery impossible; useful as a control)."""
         return cls(
@@ -214,6 +269,7 @@ class DistributedSystem:
             backup_state_space=0,
             max_faults=0,
             engine=engine,
+            network=network,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +305,16 @@ class DistributedSystem:
     def trace(self) -> ExecutionTrace:
         return self._trace
 
+    @property
+    def fabric(self) -> Optional[NetworkFabric]:
+        """The adversarial network fabric (``None`` = perfect direct links)."""
+        return self._fabric
+
+    @property
+    def supervisor(self) -> Optional[FleetSupervisor]:
+        """The fault-budget supervisor (``None`` in unsupervised mode)."""
+        return self._supervisor
+
     def server(self, name: str) -> Server:
         try:
             return self._servers[name]
@@ -277,8 +343,19 @@ class DistributedSystem:
 
         In vectorized mode the step is one runtime gather across every
         machine (true and visible states, crash/Byzantine semantics
-        included); the python engine loops over the servers.
+        included); the python engine loops over the servers.  With a
+        network fabric, the broadcast instead travels the adversarial
+        links — per-server retries, sequence numbers and exactly-once
+        application — and a server whose link dies is crashed (visible
+        in :meth:`NetworkFabric.take_new_deaths
+        <repro.simulation.fabric.NetworkFabric.take_new_deaths>`).
         """
+        if self._fabric is not None:
+            step = self._steps + 1
+            self._fabric.broadcast(event, step)
+            self._steps = step
+            self._trace.record_event(step, event)
+            return
         if self._runtime is not None:
             self._runtime.apply_stream([event])
             for server in self._servers.values():
@@ -298,13 +375,30 @@ class DistributedSystem:
         else:
             corrupted = server.corrupt(rng=rng, target=fault.corrupt_to)
             self._trace.record_fault(
-                self._steps, fault.server, "byzantine", detail="corrupted to %r" % (corrupted,)
+                self._steps,
+                fault.server,
+                "byzantine",
+                detail="corrupted to %r" % (corrupted,),
+                target=corrupted,
             )
 
-    def recover(self) -> CoordinatorReport:
-        """Run a recovery pass through the coordinator."""
+    def recover(self) -> Union[CoordinatorReport, SupervisorReport]:
+        """Run a recovery pass through the coordinator.
+
+        In supervised mode the pass goes through the
+        :class:`~repro.simulation.supervisor.FleetSupervisor`, which
+        weighs the observed fault mix against the budget *before*
+        restoring and raises
+        :class:`~repro.core.exceptions.FaultBudgetExceededError` (naming
+        the culprits) rather than ever writing back a possibly-wrong
+        state.
+        """
         if self._coordinator is None:
             raise SimulationError("this system has no backups; recovery is impossible")
+        if self._supervisor is not None:
+            # The supervisor records the recovery (or the degradation)
+            # in the trace itself.
+            return self._supervisor.oversee(self._servers, step=self._steps)
         if isinstance(self._coordinator, FusionCoordinator):
             report = self._coordinator.recover(self._servers, max_faults=self._max_faults)
         else:
@@ -329,6 +423,16 @@ class DistributedSystem:
         faults accumulate and a single recovery pass runs at the end of
         the workload (this must still be within the system's fault budget
         to succeed).
+
+        With a network fabric, a link the fabric declared dead counts as
+        one more crash fault and triggers recovery like any planned
+        crash; with ``heartbeat_interval`` set, the fabric additionally
+        probes the fleet every that many events, so even a crash no
+        message delivery would notice is detected.  In supervised mode a
+        fault-budget breach does not raise out of ``run``: the run stops
+        degrading gracefully and the report carries
+        ``status="degraded"`` with the culprit machines named (direct
+        :meth:`recover` calls do raise).
         """
         generator = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -337,6 +441,9 @@ class DistributedSystem:
         recoveries = 0
         recovered_servers: List[str] = []
         pending_recovery = False
+        degraded = False
+        culprits: Tuple[str, ...] = ()
+        applied_count = 0
 
         def strike(after_index: int) -> None:
             nonlocal faults_injected, pending_recovery
@@ -347,31 +454,65 @@ class DistributedSystem:
                 faults_injected += 1
                 pending_recovery = True
 
-        strike(0)
-        if pending_recovery and recover_immediately and self._coordinator is not None:
-            report = self.recover()
+        def observe_network(event_index: int) -> None:
+            nonlocal faults_injected, pending_recovery
+            if self._fabric is None:
+                return
+            deaths = self._fabric.take_new_deaths()
+            if deaths:
+                faults_injected += len(deaths)
+                pending_recovery = True
+            if (
+                self._heartbeat_interval is not None
+                and event_index % self._heartbeat_interval == 0
+            ):
+                if self._fabric.heartbeat(self._steps):
+                    pending_recovery = True
+
+        def try_recover() -> bool:
+            """One recovery pass; returns False when the run must degrade."""
+            nonlocal recoveries, pending_recovery, degraded, culprits
+            try:
+                report = self.recover()
+            except FaultBudgetExceededError as exc:
+                degraded = True
+                culprits = exc.culprits
+                pending_recovery = False
+                return False
             recovered_servers.extend(report.restored)
             recoveries += 1
             pending_recovery = False
+            return True
 
-        for index, event in enumerate(workload, start=1):
-            self.apply_event(event)
-            strike(index)
-            if pending_recovery and recover_immediately and self._coordinator is not None:
-                report = self.recover()
-                recovered_servers.extend(report.restored)
-                recoveries += 1
-                pending_recovery = False
+        strike(0)
+        observe_network(0)
+        if pending_recovery and recover_immediately and self._coordinator is not None:
+            try_recover()
 
-        if pending_recovery and self._coordinator is not None:
-            report = self.recover()
-            recovered_servers.extend(report.restored)
-            recoveries += 1
+        if not degraded:
+            for index, event in enumerate(workload, start=1):
+                self.apply_event(event)
+                applied_count += 1
+                strike(index)
+                observe_network(index)
+                if (
+                    pending_recovery
+                    and recover_immediately
+                    and self._coordinator is not None
+                ):
+                    if not try_recover():
+                        break
+
+        if not degraded and pending_recovery and self._coordinator is not None:
+            try_recover()
 
         consistent = self.is_consistent()
-        self._trace.record_verification(self._steps, consistent)
+        self._trace.record_verification(
+            self._steps, consistent,
+            "degraded: budget exceeded" if degraded else "",
+        )
         return SimulationReport(
-            events_applied=len(workload),
+            events_applied=applied_count,
             faults_injected=faults_injected,
             recoveries=recoveries,
             recovered_servers=tuple(recovered_servers),
@@ -380,4 +521,9 @@ class DistributedSystem:
             num_backups=len(self._backups),
             backup_state_space=self._backup_state_space,
             trace=self._trace,
+            status="degraded" if degraded else "healthy",
+            culprits=culprits,
+            delivery=(
+                self._trace.delivery_summary() if self._fabric is not None else None
+            ),
         )

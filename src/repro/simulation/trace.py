@@ -1,18 +1,31 @@
 """Execution traces: a structured record of what happened in a simulation run.
 
 Every :class:`~repro.simulation.system.DistributedSystem` run produces a
-trace containing the applied events, the injected faults, the recovery
-actions and the final verification result, so that benchmarks can report
-(and tests can assert on) exactly what the simulator did.
+trace containing the applied events, the injected faults, the network
+fabric's delivery attempts (retries, drops, duplicates, deferrals, link
+deaths), the recovery actions and the final verification result, so that
+benchmarks can report (and tests can assert on) exactly what the
+simulator did.
+
+Every record carries a *monotonic sequence number* assigned at append
+time, so the interleaving of deliveries, faults and recoveries is fully
+ordered even within one step of the global event stream — and a trace is
+*replayable*: :meth:`ExecutionTrace.replay` re-executes the recorded
+events, faults and recoveries against fresh servers and reproduces the
+run's final visible states exactly.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..core.exceptions import SimulationError
 from ..core.types import EventLabel, StateLabel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.dfsm import DFSM
 
 __all__ = ["TraceRecordKind", "TraceRecord", "ExecutionTrace"]
 
@@ -22,6 +35,7 @@ class TraceRecordKind(enum.Enum):
 
     EVENT = "event"
     FAULT = "fault"
+    DELIVERY = "delivery"
     RECOVERY = "recovery"
     VERIFICATION = "verification"
     NOTE = "note"
@@ -39,16 +53,20 @@ class TraceRecord:
         Number of global events applied when the record was made.
     payload:
         Kind-specific details (event label, fault description, recovered
-        states, …).
+        states, delivery outcome, …).
+    seq:
+        Monotonic per-trace sequence number (0, 1, 2, … in append
+        order); orders records unambiguously even within one step.
     """
 
     kind: TraceRecordKind
     step: int
     payload: Dict[str, object]
+    seq: int = 0
 
 
 class ExecutionTrace:
-    """An append-only record of a simulation run."""
+    """An append-only, replayable record of a simulation run."""
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
@@ -64,18 +82,61 @@ class ExecutionTrace:
         return tuple(self._records)
 
     # ------------------------------------------------------------------
+    def _append(self, kind: TraceRecordKind, step: int, payload: Dict[str, object]) -> None:
+        self._records.append(TraceRecord(kind, step, payload, seq=len(self._records)))
+
     def record_event(self, step: int, event: EventLabel) -> None:
-        self._records.append(
-            TraceRecord(TraceRecordKind.EVENT, step, {"event": event})
+        self._append(TraceRecordKind.EVENT, step, {"event": event})
+
+    def record_fault(
+        self,
+        step: int,
+        server: str,
+        kind: str,
+        detail: Optional[str] = None,
+        target: Optional[StateLabel] = None,
+    ) -> None:
+        """Record one injected fault.
+
+        For Byzantine faults ``target`` carries the state the server was
+        corrupted into, so :meth:`replay` can reproduce the corruption
+        exactly rather than parse it back out of ``detail``.
+        """
+        self._append(
+            TraceRecordKind.FAULT,
+            step,
+            {"server": server, "fault_kind": kind, "detail": detail, "target": target},
         )
 
-    def record_fault(self, step: int, server: str, kind: str, detail: Optional[str] = None) -> None:
-        self._records.append(
-            TraceRecord(
-                TraceRecordKind.FAULT,
-                step,
-                {"server": server, "fault_kind": kind, "detail": detail},
-            )
+    def record_delivery(
+        self,
+        step: int,
+        server: str,
+        event: EventLabel,
+        message_seq: int,
+        attempt: int,
+        outcome: str,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Record one delivery attempt of the network fabric.
+
+        ``message_seq`` is the per-server message sequence number,
+        ``attempt`` the 1-based transmission attempt (>1 = retry) and
+        ``outcome`` the fabric's verdict (``delivered``, ``dropped``,
+        ``blocked``, ``deferred``, ``duplicate``, ``stale``,
+        ``link_dead``, ``heartbeat`` …).
+        """
+        self._append(
+            TraceRecordKind.DELIVERY,
+            step,
+            {
+                "server": server,
+                "event": event,
+                "message_seq": message_seq,
+                "attempt": attempt,
+                "outcome": outcome,
+                "detail": detail,
+            },
         )
 
     def record_recovery(
@@ -84,28 +145,24 @@ class ExecutionTrace:
         recovered_states: Dict[str, StateLabel],
         suspected_byzantine: Tuple[str, ...] = (),
     ) -> None:
-        self._records.append(
-            TraceRecord(
-                TraceRecordKind.RECOVERY,
-                step,
-                {
-                    "recovered_states": dict(recovered_states),
-                    "suspected_byzantine": tuple(suspected_byzantine),
-                },
-            )
+        self._append(
+            TraceRecordKind.RECOVERY,
+            step,
+            {
+                "recovered_states": dict(recovered_states),
+                "suspected_byzantine": tuple(suspected_byzantine),
+            },
         )
 
     def record_verification(self, step: int, consistent: bool, detail: str = "") -> None:
-        self._records.append(
-            TraceRecord(
-                TraceRecordKind.VERIFICATION,
-                step,
-                {"consistent": consistent, "detail": detail},
-            )
+        self._append(
+            TraceRecordKind.VERIFICATION,
+            step,
+            {"consistent": consistent, "detail": detail},
         )
 
     def record_note(self, step: int, message: str) -> None:
-        self._records.append(TraceRecord(TraceRecordKind.NOTE, step, {"message": message}))
+        self._append(TraceRecordKind.NOTE, step, {"message": message})
 
     # ------------------------------------------------------------------
     def events_applied(self) -> List[EventLabel]:
@@ -114,6 +171,9 @@ class ExecutionTrace:
 
     def faults(self) -> List[TraceRecord]:
         return [r for r in self._records if r.kind is TraceRecordKind.FAULT]
+
+    def deliveries(self) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind is TraceRecordKind.DELIVERY]
 
     def recoveries(self) -> List[TraceRecord]:
         return [r for r in self._records if r.kind is TraceRecordKind.RECOVERY]
@@ -127,3 +187,66 @@ class ExecutionTrace:
         for record in self._records:
             out[record.kind.value] = out.get(record.kind.value, 0) + 1
         return out
+
+    def delivery_summary(self) -> Dict[str, int]:
+        """Delivery-attempt counts per outcome (empty without a fabric)."""
+        out: Dict[str, int] = {}
+        for record in self.deliveries():
+            outcome = str(record.payload["outcome"])
+            out[outcome] = out.get(outcome, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def replay(self, machines: Sequence["DFSM"]) -> Dict[str, Optional[StateLabel]]:
+        """Re-execute the trace against fresh servers; return final states.
+
+        ``machines`` must cover every server the trace names (originals
+        and backups, names matching).  Replays the records in sequence
+        order — events are broadcast to every server, faults crash or
+        corrupt the named server (Byzantine corruption replays the
+        recorded ``target`` state), recoveries restore the recorded
+        states.  Delivery records need no replaying: the fabric's
+        sequence-number protocol guarantees exactly-once in-order
+        application, which is precisely what the EVENT records capture.
+
+        Returns the final visible state per server, which for a trace
+        produced by :meth:`DistributedSystem.run
+        <repro.simulation.system.DistributedSystem.run>` equals the
+        run's own final :meth:`states
+        <repro.simulation.system.DistributedSystem.states>`.
+        """
+        from .server import Server
+
+        servers = {machine.name: Server(machine) for machine in machines}
+        if len(servers) != len(machines):
+            raise SimulationError("replay machines must have unique names")
+        for record in sorted(self._records, key=lambda r: r.seq):
+            if record.kind is TraceRecordKind.EVENT:
+                event = record.payload["event"]
+                for server in servers.values():
+                    server.apply(event)
+            elif record.kind is TraceRecordKind.FAULT:
+                name = str(record.payload["server"])
+                if name not in servers:
+                    raise SimulationError(
+                        "trace names unknown server %r; pass its machine to replay()" % name
+                    )
+                if record.payload["fault_kind"] == "crash":
+                    servers[name].crash()
+                else:
+                    target = record.payload.get("target")
+                    if target is None:
+                        raise SimulationError(
+                            "Byzantine fault record for %r carries no corruption "
+                            "target; traces recorded before the fabric PR cannot "
+                            "be replayed" % name
+                        )
+                    servers[name].corrupt(target=target)
+            elif record.kind is TraceRecordKind.RECOVERY:
+                for name, state in record.payload["recovered_states"].items():
+                    if name not in servers:
+                        raise SimulationError(
+                            "trace names unknown server %r; pass its machine to replay()" % name
+                        )
+                    servers[name].restore(state)
+        return {name: server.report_state() for name, server in servers.items()}

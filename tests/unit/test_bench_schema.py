@@ -32,7 +32,42 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/6"
+    assert _payload()["schema"] == "repro-bench-perf/7"
+
+
+def test_network_block_records_fabric_resilience_evidence():
+    """Schema v7: the adversarial fabric's evidence travels with the file.
+
+    The committed trajectory must carry the network smoke's proof
+    (``benchmarks/bench_network_chaos_smoke.py``): a seeded
+    drop/reorder/partition schedule that actually fired (``dropped >
+    0``), defeated byte-identically to the fabric-free reference on
+    both execution engines, an f-sweep covering ``f = 1..3`` in which
+    every supervised chaos run stayed healthy, and zero stranded
+    ``/dev/shm`` segments.
+    """
+    network = _payload().get("network")
+    assert network is not None, "BENCH_perf.json is missing the network block"
+    assert network["case"] == "zoo-f2 (tcp+mesi+parity+counter)"
+    assert "drop=" in network["chaos"] and "partition=" in network["chaos"]
+    assert network["fault_free_equivalent"] is True
+    assert set(network["engines"]) == {"vectorized", "python"}
+    delivery = network["delivery"]
+    assert delivery["delivered"] > 0
+    assert delivery["dropped"] > 0, "the chaos schedule never fired"
+    for outcome, count in delivery.items():
+        assert isinstance(count, int) and count >= 0, outcome
+    assert network["shm_stranded"] == 0
+    sweep = {entry["f"]: entry for entry in network["f_sweep"]}
+    assert sorted(sweep) == [1, 2, 3]
+    for f, entry in sweep.items():
+        assert entry["status"] == "healthy", f
+        assert entry["fusion_seconds"] > 0, f
+        assert entry["delivered"] > 0, f
+        assert entry["backups"] >= 1, f
+        assert entry["fleet"] > entry["backups"], f
+    # Redundancy grows with f: each extra tolerated fault adds backups.
+    assert sweep[1]["backups"] <= sweep[2]["backups"] <= sweep[3]["backups"]
 
 
 def test_store_block_records_crash_recovery_evidence():

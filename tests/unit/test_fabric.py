@@ -1,0 +1,224 @@
+"""Unit tests for the adversarial network fabric.
+
+Each network fault kind is forced deterministically (probability 1 with
+a tight ``max_faults`` budget) and the delivery protocol's counter is
+asserted: sequence numbers reject duplicates and stale reorders, retries
+outlast drops and partitions, bounded delays land inside the ack window
+or bounce off the seq guard, and a link that never acknowledges is
+declared dead — becoming a crash fault.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.machines import fig1_counter_a, fig1_counter_b
+from repro.simulation.fabric import (
+    NetworkChaosSpec,
+    NetworkFabric,
+    NetworkFaultKind,
+    network_chaos_from_env,
+)
+from repro.simulation.faults import FaultInjector, FaultKind
+from repro.simulation.server import Server, ServerStatus
+from repro.simulation.trace import ExecutionTrace
+
+WORKLOAD = [0, 1, 0, 0, 1, 0, 1, 1] * 4
+
+
+def _fleet():
+    machines = [fig1_counter_a(), fig1_counter_b()]
+    return machines, {m.name: Server(m) for m in machines}
+
+
+def _reference_states(machines, events):
+    servers = {m.name: Server(m) for m in machines}
+    for event in events:
+        for server in servers.values():
+            server.apply(event)
+    return {name: server.report_state() for name, server in servers.items()}
+
+
+class TestNetworkChaosSpec:
+    def test_parse_round_trip(self):
+        spec = NetworkChaosSpec.parse(
+            "drop=0.2,duplicate=0.1,reorder=0.05,delay=0.1,partition=0.02,"
+            "max_delay=4,partition_ticks=8,servers=a+b,max=9,seed=13"
+        )
+        assert NetworkChaosSpec.parse(spec.spec_string()).spec_string() == spec.spec_string()
+        assert spec.max_delay_ticks == 4
+        assert spec.partition_ticks == 8
+        assert spec.seed == 13
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(SimulationError, match="unknown REPRO_NET_CHAOS key"):
+            NetworkChaosSpec.parse("dorp=0.5")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(SimulationError, match="invalid REPRO_NET_CHAOS value"):
+            NetworkChaosSpec.parse("drop=lots")
+
+    def test_parse_rejects_bare_entry(self):
+        with pytest.raises(SimulationError, match="key=value"):
+            NetworkChaosSpec.parse("drop")
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(SimulationError, match="must be in"):
+            NetworkChaosSpec({NetworkFaultKind.DROP: 1.5})
+
+    def test_budget_limits_injection(self):
+        spec = NetworkChaosSpec({NetworkFaultKind.DROP: 1.0}, max_faults=2, seed=1)
+        draws = [spec.draw("s") for _ in range(5)]
+        assert sum(1 for d in draws if d is not None) == 2
+        assert not spec.active
+
+    def test_server_filter(self):
+        spec = NetworkChaosSpec(
+            {NetworkFaultKind.DROP: 1.0}, servers=("only-this",), seed=1
+        )
+        assert spec.draw("someone-else") is None
+        assert spec.draw("only-this") is not None
+
+    def test_draws_are_deterministic_in_seed(self):
+        def schedule(seed):
+            spec = NetworkChaosSpec(
+                {NetworkFaultKind.DROP: 0.4, NetworkFaultKind.DELAY: 0.3}, seed=seed
+            )
+            return [spec.draw("s") for _ in range(50)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NET_CHAOS", raising=False)
+        assert network_chaos_from_env() is None
+        monkeypatch.setenv("REPRO_NET_CHAOS", "drop=0.5,seed=3")
+        spec = network_chaos_from_env()
+        assert spec is not None and spec.active
+        monkeypatch.setenv("REPRO_NET_CHAOS", "drop=0.0")
+        assert network_chaos_from_env() is None  # inactive spec -> no fabric
+
+    def test_injector_builder_validates_servers(self):
+        injector = FaultInjector(["a", "b"], seed=1)
+        with pytest.raises(SimulationError, match="unknown servers"):
+            injector.network_chaos(seed=1, drop=0.5, servers=["ghost"])
+        spec = injector.network_chaos(seed=1, drop=0.5, servers=["a"])
+        assert spec.draw("b") is None
+
+    def test_network_kinds_cannot_be_scheduled_as_server_faults(self):
+        injector = FaultInjector(["a"], seed=1)
+        from repro.simulation.faults import FaultEvent, FaultPlan
+
+        with pytest.raises(SimulationError, match="network_chaos instead"):
+            FaultPlan((FaultEvent("a", FaultKind.DROP, 0),))
+        assert FaultKind.DROP.targets_network
+        assert not FaultKind.CRASH.targets_network
+
+
+class TestNetworkFabricProtocol:
+    def test_perfect_network_is_exactly_once(self):
+        machines, servers = _fleet()
+        trace = ExecutionTrace()
+        fabric = NetworkFabric(servers, chaos=None, trace=trace)
+        for step, event in enumerate(WORKLOAD, start=1):
+            outcomes = fabric.broadcast(event, step)
+            assert set(outcomes.values()) == {"delivered"}
+        assert {n: s.report_state() for n, s in servers.items()} == _reference_states(
+            machines, WORKLOAD
+        )
+        assert fabric.stats.delivered == len(WORKLOAD) * len(servers)
+        assert fabric.stats.retries == 0
+        assert fabric.stats.faults_injected == 0
+
+    @pytest.mark.parametrize(
+        "spec_string, expected_faults",
+        [
+            ("drop=1.0,max=6,seed=3", 6),
+            ("duplicate=1.0,max=6,seed=3", 6),
+            ("reorder=1.0,max=6,seed=3", 6),
+            ("delay=1.0,max=6,seed=3", 6),
+            # A p=1 partition re-partitions the instant the link heals,
+            # so bound it tighter than the retry budget.
+            ("partition=1.0,max=2,partition_ticks=3,seed=3", 2),
+        ],
+    )
+    def test_each_fault_kind_is_defeated(self, spec_string, expected_faults):
+        machines, servers = _fleet()
+        spec = NetworkChaosSpec.parse(spec_string)
+        fabric = NetworkFabric(servers, chaos=spec, trace=ExecutionTrace())
+        for step, event in enumerate(WORKLOAD, start=1):
+            outcomes = fabric.broadcast(event, step)
+            assert set(outcomes.values()) == {"delivered"}
+        assert {n: s.report_state() for n, s in servers.items()} == _reference_states(
+            machines, WORKLOAD
+        )
+        assert spec.injected == expected_faults
+
+    def test_duplicates_are_rejected_by_seq_guard(self):
+        _, servers = _fleet()
+        spec = NetworkChaosSpec.parse("duplicate=1.0,seed=3")
+        fabric = NetworkFabric(servers, chaos=spec)
+        for step, event in enumerate(WORKLOAD, start=1):
+            fabric.broadcast(event, step)
+        assert fabric.stats.duplicates == len(WORKLOAD) * len(servers)
+        assert fabric.stats.stale_rejected >= fabric.stats.duplicates
+        # Exactly-once despite a duplicate of every single message:
+        for server in servers.values():
+            assert server.events_applied == len(WORKLOAD)
+
+    def test_unacknowledged_link_is_declared_dead(self):
+        machines, servers = _fleet()
+        victim = machines[0].name
+        spec = NetworkChaosSpec(
+            {NetworkFaultKind.DROP: 1.0}, servers=(victim,), seed=3
+        )
+        trace = ExecutionTrace()
+        fabric = NetworkFabric(servers, chaos=spec, trace=trace, max_attempts=4)
+        outcomes = fabric.broadcast(WORKLOAD[0], 1)
+        assert outcomes[victim] == "link_dead"
+        assert fabric.link_is_dead(victim)
+        assert fabric.dead_links() == (victim,)
+        assert fabric.take_new_deaths() == (victim,)
+        assert fabric.take_new_deaths() == ()  # drained
+        assert servers[victim].status is ServerStatus.CRASHED
+        # The link death is a crash fault in the trace (replayable).
+        faults = trace.faults()
+        assert len(faults) == 1 and faults[0].payload["fault_kind"] == "crash"
+        # Ground truth still advances on the crashed server.
+        assert servers[victim].true_state is not None
+        # Later broadcasts skip the dead link but keep ground truth moving.
+        outcomes = fabric.broadcast(WORKLOAD[1], 2)
+        assert outcomes[victim] == "crashed"
+
+    def test_heartbeats_detect_crashes(self):
+        _, servers = _fleet()
+        fabric = NetworkFabric(servers, chaos=None)
+        assert fabric.heartbeat(1) == ()
+        victim = next(iter(servers))
+        servers[victim].crash()
+        assert fabric.heartbeat(2) == (victim,)
+        assert fabric.stats.heartbeats_missed == 1
+
+    def test_same_seed_same_delivery_schedule(self):
+        def outcomes(seed):
+            machines, servers = _fleet()
+            spec = NetworkChaosSpec.parse(
+                "drop=0.3,duplicate=0.2,reorder=0.1,delay=0.2,partition=0.05,seed=%d"
+                % seed
+            )
+            trace = ExecutionTrace()
+            fabric = NetworkFabric(servers, chaos=spec, trace=trace)
+            for step, event in enumerate(WORKLOAD, start=1):
+                fabric.broadcast(event, step)
+            return [
+                (r.payload["server"], r.payload["outcome"], r.payload["message_seq"])
+                for r in trace.deliveries()
+            ]
+
+        assert outcomes(11) == outcomes(11)
+        assert outcomes(11) != outcomes(12)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(SimulationError, match="at least one server"):
+            NetworkFabric({})
