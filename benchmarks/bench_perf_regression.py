@@ -97,6 +97,16 @@ finish byte-identical to a fabric-free reference, plus an ``f_sweep``
 (``f = 1..3``) recording fusion-generation seconds and delivery counts
 at increasing redundancy.  All four harnesses preserve each other's
 blocks.
+
+Schema ``repro-bench-perf/8`` (PR 10) adds a top-level ``resources``
+block written by ``benchmarks/bench_resource_smoke.py``: the resource
+governor's degradation evidence (:mod:`repro.core.budget`) — the
+flagship run under a deliberately tiny ``REPRO_MEMORY_BUDGET`` plus an
+injected ``shm_full`` fault, forcing at least one spill of the merge
+tree to external sorted runs and at least one ``/dev/shm`` publish to
+fall back to a file-backed segment, finishing byte-identical to the
+unbounded reference with identical ``prune_stats`` and zero stranded
+segments.  All five harnesses preserve each other's blocks.
 """
 
 from __future__ import annotations
@@ -152,11 +162,12 @@ RESULT_PATH = os.path.join(
 
 #: Current payload schema, shared with ``bench_runtime_throughput.py``
 #: (which contributes the top-level ``runtime`` block),
-#: ``bench_store_smoke.py`` (the top-level ``store`` block) and
-#: ``bench_network_chaos_smoke.py`` (the top-level ``network`` block),
+#: ``bench_store_smoke.py`` (the top-level ``store`` block),
+#: ``bench_network_chaos_smoke.py`` (the top-level ``network`` block)
+#: and ``bench_resource_smoke.py`` (the top-level ``resources`` block),
 #: asserted against the committed file by
 #: ``tests/unit/test_bench_schema.py``.
-SCHEMA = "repro-bench-perf/7"
+SCHEMA = "repro-bench-perf/8"
 
 #: Wall-clock seconds at the seed commit (pre-PR dense/Python engine),
 #: measured on the reference container.  ``counters-6`` had no pre-PR
@@ -362,6 +373,41 @@ def network_block_is_consistent(block) -> bool:
     return True
 
 
+#: Fields the top-level ``resources`` block must carry (schema
+#: ``repro-bench-perf/8``, written by ``bench_resource_smoke.py``): the
+#: resource governor's graceful-degradation evidence.
+RESOURCES_BLOCK_FIELDS = (
+    "case", "budget", "chaos", "workers", "byte_identical",
+    "prune_stats_equal", "run_seconds", "stats", "shm_stranded",
+)
+
+
+def resources_block_is_consistent(block) -> bool:
+    """Schema-v8 invariants for the resource-governor evidence.
+
+    The block must attest a byte-identical budget-constrained run whose
+    governor actually degraded: at least one merge spilled to external
+    sorted runs, at least one ``/dev/shm`` publish fell back to a
+    file-backed segment (the injected ``shm_full`` fault fired), the
+    ``prune_stats`` matched the unbounded reference exactly, and no
+    ``/dev/shm`` segment was left behind.
+    """
+    if block is None or not all(field in block for field in RESOURCES_BLOCK_FIELDS):
+        return False
+    if block["byte_identical"] is not True:
+        return False
+    if block["prune_stats_equal"] is not True:
+        return False
+    if not block["run_seconds"] > 0:
+        return False
+    stats = block["stats"]
+    if stats.get("spills", 0) < 1 or stats.get("spilled_bytes", 0) <= 0:
+        return False
+    if stats.get("shm_fallbacks", 0) < 1 or stats.get("chaos", 0) < 1:
+        return False
+    return block["shm_stranded"] == 0
+
+
 def stage_entries_are_consistent(stages: Dict[str, Dict[str, float]]) -> bool:
     """Schema-v3 stage invariants: every entry carries both clocks.
 
@@ -505,7 +551,12 @@ def run_suite(rounds: int = 1) -> Dict[str, object]:
             "top-level network block is the adversarial fabric's "
             "resilience evidence (seeded drop/reorder/partition schedule "
             "defeated byte-identically on both engines, f-sweep at "
-            "f=1..3), written by benchmarks/bench_network_chaos_smoke.py"
+            "f=1..3), written by benchmarks/bench_network_chaos_smoke.py. "
+            "The top-level resources block is the resource governor's "
+            "degradation evidence (forced merge spill under a tiny memory "
+            "budget plus an injected shm_full publish fallback, "
+            "byte-identical to the unbounded reference), written by "
+            "benchmarks/bench_resource_smoke.py"
         ),
         "cases": cases,
     }
@@ -515,13 +566,15 @@ def write_results(rounds: int = 1, path: str = RESULT_PATH) -> Dict[str, object]
     payload = run_suite(rounds=rounds)
     # Preserve the streaming-runtime trajectory contributed by
     # bench_runtime_throughput.py, the crash-durability evidence
-    # contributed by bench_store_smoke.py and the network-resilience
-    # evidence contributed by bench_network_chaos_smoke.py; only the
-    # fusion cases are re-measured here.
+    # contributed by bench_store_smoke.py, the network-resilience
+    # evidence contributed by bench_network_chaos_smoke.py and the
+    # resource-governor evidence contributed by
+    # bench_resource_smoke.py; only the fusion cases are re-measured
+    # here.
     if os.path.exists(path):
         with open(path) as handle:
             previous = json.load(handle)
-        for block in ("runtime", "store", "network"):
+        for block in ("runtime", "store", "network", "resources"):
             if block in previous:
                 payload[block] = previous[block]
     with open(path, "w") as handle:
@@ -702,6 +755,11 @@ def main(argv: Sequence[str]) -> int:
             failures.append(
                 "network block (run benchmarks/bench_network_chaos_smoke.py "
                 "to regenerate the network-resilience evidence)"
+            )
+        if not resources_block_is_consistent(payload.get("resources")):
+            failures.append(
+                "resources block (run benchmarks/bench_resource_smoke.py "
+                "to regenerate the resource-governor evidence)"
             )
         if failures:
             print("FAILED cases: %s" % ", ".join(failures))

@@ -1,0 +1,212 @@
+"""Resource-governor smoke: starve the flagship, finish byte-identical.
+
+The CI low-budget job proves the resource governor's degradation
+contract (:mod:`repro.core.budget`) on the ``counters-9 (top=19683)``
+flagship:
+
+1. an unbounded reference run records the ground-truth partition bytes
+   and ``prune_stats``;
+2. the same fusion reruns with 2 workers under a deliberately tiny
+   memory budget *plus* a seeded ``shm_full`` fault against the
+   ``segment_publish`` stage — the merge tree must spill at least one
+   fold to external sorted runs on scratch, and at least one
+   ``/dev/shm`` publish must fall back to a file-backed mmap segment
+   (a smoke that never degrades proves nothing);
+3. the starved run must finish with partition bytes *and*
+   ``prune_stats`` identical to the reference — graceful degradation
+   may cost time, never correctness;
+4. zero ``psm_*`` shared-memory segments and zero spill scratch files
+   may survive the clean finish.
+
+The spill/fallback evidence is recorded as the top-level ``resources``
+block of ``BENCH_perf.json`` (schema ``repro-bench-perf/8``),
+preserved by the other harnesses the same way they preserve each
+other's blocks, and validated by ``bench_perf_regression.py --check``
+and ``tests/unit/test_bench_schema.py``.  Run it exactly as CI does::
+
+    PYTHONPATH=src python benchmarks/bench_resource_smoke.py
+
+Exits non-zero on any violated guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.fusion import generate_fusion
+from repro.core.resilience import assert_no_owned_segments
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_perf.json"
+)
+
+CASE = "counters-9 (top=19683)"
+
+#: Small enough that the owner-side merge folds overrun it and spill
+#: (their transient peak is tens of MB on this case), large enough that
+#: the spill windows still make progress.
+MEMORY_BUDGET = "1M"
+
+#: Fires once, on the first shared-segment publish: the governor must
+#: route that publish to a file-backed segment instead of ``/dev/shm``.
+CHAOS = "shm_full=1.0,stages=segment_publish,max=1,seed=17"
+
+WORKERS = 2
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+def _labels_digest(result) -> str:
+    digest = hashlib.sha256()
+    for partition in result.partitions:
+        digest.update(partition.labels.tobytes())
+    return digest.hexdigest()
+
+
+def _shm_segments():
+    try:
+        return sorted(f for f in os.listdir("/dev/shm") if f.startswith("psm_"))
+    except OSError:
+        return []
+
+
+def record_resources_block(block: dict, path: str = RESULT_PATH) -> None:
+    """Merge the ``resources`` block into BENCH_perf.json, preserving
+    the blocks the other harnesses contribute."""
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload["resources"] = block
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def main() -> int:
+    os.environ.pop("REPRO_CHAOS", None)
+    failures = []
+    before_segments = _shm_segments()
+
+    print("reference run (unbounded, workers=%d) ..." % WORKERS)
+    reference_watch = Stopwatch()
+    reference = generate_fusion(
+        _counters(9), f=1, workers=WORKERS, stopwatch=reference_watch
+    )
+    reference_labels = _labels_digest(reference)
+    reference_prune = reference_watch.extras("prune")
+
+    print(
+        "starved run: memory=%s, REPRO_CHAOS=%r ..." % (MEMORY_BUDGET, CHAOS)
+    )
+    os.environ["REPRO_CHAOS"] = CHAOS
+    try:
+        starved_watch = Stopwatch()
+        start = time.perf_counter()
+        starved = generate_fusion(
+            _counters(9),
+            f=1,
+            workers=WORKERS,
+            stopwatch=starved_watch,
+            budget={"memory": MEMORY_BUDGET},
+        )
+        run_seconds = time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_CHAOS", None)
+
+    stats = {k: int(v) for k, v in starved_watch.extras("resources").items()}
+    starved_prune = starved_watch.extras("prune")
+    print("governor stats: %s" % stats)
+
+    if _labels_digest(starved) != reference_labels:
+        failures.append("starved partition bytes differ from the reference")
+    if starved.summary() != reference.summary():
+        failures.append(
+            "starved summary differs from the reference: %r != %r"
+            % (starved.summary(), reference.summary())
+        )
+    prune_equal = starved_prune == reference_prune
+    if not prune_equal:
+        failures.append(
+            "starved prune_stats differ from the reference: %r != %r"
+            % (starved_prune, reference_prune)
+        )
+    if stats.get("spills", 0) < 1:
+        failures.append(
+            "the memory budget never forced a spill; the smoke proved nothing"
+        )
+    if stats.get("shm_fallbacks", 0) < 1:
+        failures.append(
+            "the injected shm_full fault never forced a file-backed fallback"
+        )
+    if stats.get("chaos", 0) < 1:
+        failures.append("the seeded shm_full fault was never drawn")
+
+    try:
+        assert_no_owned_segments()
+    except Exception as exc:  # noqa: BLE001 - any leak is a failure
+        failures.append("owned /dev/shm segments leaked: %s" % exc)
+    stranded = sorted(set(_shm_segments()) - set(before_segments))
+    if stranded:
+        failures.append("stranded /dev/shm segments: %s" % stranded)
+
+    if not failures:
+        record_resources_block({
+            "note": (
+                "Resource-governor evidence from benchmarks/"
+                "bench_resource_smoke.py: the %s fusion reran with %d "
+                "workers under REPRO_MEMORY_BUDGET=%s plus a seeded "
+                "shm_full fault; the merge tree spilled to external "
+                "sorted runs, a /dev/shm publish fell back to a "
+                "file-backed segment, and the run finished byte-identical "
+                "to the unbounded reference with identical prune_stats "
+                "and zero stranded segments."
+                % (CASE, WORKERS, MEMORY_BUDGET)
+            ),
+            "case": CASE,
+            "budget": {"memory": MEMORY_BUDGET},
+            "chaos": CHAOS,
+            "workers": WORKERS,
+            "byte_identical": True,
+            "prune_stats_equal": True,
+            "run_seconds": round(run_seconds, 6),
+            "stats": stats,
+            "shm_stranded": len(stranded),
+        })
+        print("wrote resources block to %s" % RESULT_PATH)
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print(
+        "OK: %d spill(s) (%d bytes) and %d shm fallback(s) under a %s "
+        "budget, byte-identical in %.2fs"
+        % (
+            stats["spills"],
+            stats["spilled_bytes"],
+            stats["shm_fallbacks"],
+            MEMORY_BUDGET,
+            run_seconds,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

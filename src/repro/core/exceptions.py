@@ -19,6 +19,9 @@ __all__ = [
     "FusionExistenceError",
     "PoolDegradedError",
     "SegmentLeakError",
+    "SpecParseError",
+    "NetworkSpecParseError",
+    "ResourceExhaustedError",
     "RecoveryError",
     "FaultToleranceExceededError",
     "FaultBudgetExceededError",
@@ -93,6 +96,98 @@ class SegmentLeakError(FusionError):
     (:func:`repro.core.resilience.assert_no_owned_segments`) that tests
     and CI run after every fusion.
     """
+
+
+class SpecParseError(FusionError):
+    """A configuration spec string failed to parse.
+
+    Raised for malformed ``REPRO_CHAOS`` entries, unparsable
+    ``REPRO_MEMORY_BUDGET``/``REPRO_SHM_BUDGET``/``REPRO_DISK_BUDGET``
+    size strings and (through :class:`NetworkSpecParseError`) bad
+    ``REPRO_NET_CHAOS`` values.  Unlike a bare ``ValueError`` it *names
+    the offending token* so the error message — and programmatic callers
+    — can point at the exact fragment of the knob that is wrong.
+
+    Attributes
+    ----------
+    knob:
+        The environment variable (or keyword) whose value failed.
+    token:
+        The offending fragment of that value.
+    """
+
+    def __init__(self, knob: str, token: str, message: str) -> None:
+        super().__init__("%s: %s (offending token %r)" % (knob, message, token))
+        self.knob = knob
+        self.token = token
+
+
+class SimulationError(ReproError):
+    """The distributed-system simulator was driven into an invalid configuration."""
+
+
+class NetworkSpecParseError(SpecParseError, SimulationError):
+    """A ``REPRO_NET_CHAOS`` spec string failed to parse.
+
+    Inherits :class:`SpecParseError` (so all spec-string failures share
+    one type carrying ``knob``/``token``) *and* :class:`SimulationError`
+    (the fabric's historical error family — existing callers that catch
+    ``SimulationError`` keep working).
+    """
+
+
+class ResourceExhaustedError(FusionError):
+    """A resource budget or the machine itself ran out and recovery failed.
+
+    Raised only after graceful degradation has been exhausted: the
+    governor spilled what it could, ``/dev/shm`` publishes fell back to
+    file-backed segments, and store commits retried with backoff after
+    scratch sweeping.  The message — and the attributes — name the
+    resource (``"memory"``, ``"shm"`` or ``"disk"``), the watermark that
+    was configured, and the observed usage, so operators can size the
+    budget instead of guessing.  The run remains resumable from its last
+    committed checkpoint (nothing is quarantined on the way out).
+
+    Attributes
+    ----------
+    resource:
+        Which budget was exhausted: ``"memory"``, ``"shm"`` or ``"disk"``.
+    watermark:
+        The configured budget in bytes (``None`` when the physical
+        resource itself, not a configured budget, ran out).
+    observed:
+        The observed usage in bytes that overran the watermark.
+    """
+
+    def __init__(
+        self,
+        resource: str,
+        watermark,
+        observed: int,
+        message: str,
+    ) -> None:
+        super().__init__(message)
+        self.resource = str(resource)
+        self.watermark = None if watermark is None else int(watermark)
+        self.observed = int(observed)
+
+    @classmethod
+    def for_resource(
+        cls, resource: str, watermark, observed: int, detail: str = ""
+    ) -> "ResourceExhaustedError":
+        budget = (
+            "no budget configured"
+            if watermark is None
+            else "budget %d bytes" % int(watermark)
+        )
+        message = "%s exhausted: observed %d bytes against %s" % (
+            resource,
+            int(observed),
+            budget,
+        )
+        if detail:
+            message = "%s; %s" % (message, detail)
+        return cls(resource, watermark, observed, message)
 
 
 class RecoveryError(ReproError):
@@ -182,10 +277,6 @@ class FaultBudgetExceededError(FaultToleranceExceededError):
             observed=observed,
             tolerated=tolerated,
         )
-
-
-class SimulationError(ReproError):
-    """The distributed-system simulator was driven into an invalid configuration."""
 
 
 class SerializationError(ReproError):

@@ -72,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..io.store import ArtifactStore
     from ..utils.timing import Stopwatch
 
+from .budget import ResourceBudget, ResourceGovernor, activate
 from .dfsm import DFSM
 from .exceptions import FusionError, FusionExistenceError
 from .fault_graph import FaultGraph, condensed_indices
@@ -984,6 +985,7 @@ def generate_fusion(
     stopwatch: Optional["Stopwatch"] = None,
     workers: Optional[int] = None,
     store: "ArtifactStore | str | os.PathLike | None" = None,
+    budget: "ResourceBudget | dict | None" = None,
 ) -> FusionResult:
     """Algorithm 2 — generate backup machines tolerating ``f`` faults.
 
@@ -1043,6 +1045,21 @@ def generate_fusion(
         caching requires a named ``strategy`` and no
         ``existing_backups`` (custom callables have no stable cache
         key); product and ledger artifacts are shared regardless.
+    budget:
+        Optional resource budget governing the run: a
+        :class:`repro.core.budget.ResourceBudget`, or a mapping with
+        ``"memory"``/``"shm"``/``"disk"`` keys whose values are byte
+        counts or size strings (``"256M"``).  ``None`` reads the
+        ``REPRO_MEMORY_BUDGET`` / ``REPRO_SHM_BUDGET`` /
+        ``REPRO_DISK_BUDGET`` environment variables.  Above the memory
+        watermark the sparse merge tree and prune rounds spill sorted
+        key runs to scratch (byte-identical k-way external merge);
+        above the shm watermark — or on a real ``/dev/shm`` ENOSPC —
+        segment publishes fall back to file-backed mmaps; disk
+        exhaustion retries commits after scratch sweeping and finally
+        raises :class:`repro.core.exceptions.ResourceExhaustedError`
+        with the run still resumable.  Spill/fallback counts land in
+        the stopwatch's ``resources`` stage.
 
     Returns
     -------
@@ -1075,6 +1092,20 @@ def generate_fusion(
     measure = stopwatch.measure if stopwatch is not None else nullcontext
 
     artifacts = _resolve_store(store)
+    # The governor meters shared-segment bytes and large pair-key
+    # arrays against the run's budget, and owns the spill scratch the
+    # merge tree degrades into.  It is created unconditionally so the
+    # ``resources`` stage always exists in the stopwatch, warm hit or
+    # not.
+    governor = ResourceGovernor(budget)
+    if artifacts is not None:
+        governor.set_spill_dir(artifacts.scratch_dir())
+
+    def _finish_resources() -> None:
+        if stopwatch is not None:
+            stopwatch.accumulate("resources", **governor.stats.as_counters())
+        governor.close()
+
     digest: Optional[str] = None
     runkey: Optional[str] = None
     if artifacts is not None:
@@ -1097,6 +1128,7 @@ def generate_fusion(
             if warm is not None:
                 if stopwatch is not None:
                     stopwatch.accumulate("store", **artifacts.stats.as_counters())
+                _finish_resources()
                 return warm
 
     worker_count = resolve_workers(workers)
@@ -1120,7 +1152,10 @@ def generate_fusion(
             if artifacts is not None and runkey is not None
             else nullcontext()
         )
-        with run_lock:
+        # ``activate`` makes the governor discoverable (via
+        # ``current_governor``) to the shm publish path and the sparse
+        # merge hooks without threading it through every signature.
+        with run_lock, activate(governor):
             if artifacts is not None and runkey is not None:
                 with measure("store_load"):
                     warm = _result_from_store(
@@ -1296,6 +1331,7 @@ def generate_fusion(
             pool.close()
         if artifacts is not None and stopwatch is not None:
             stopwatch.accumulate("store", **artifacts.stats.as_counters())
+        _finish_resources()
 
 
 def generate_byzantine_fusion(

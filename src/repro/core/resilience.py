@@ -45,7 +45,7 @@ from concurrent.futures import TimeoutError as PoolTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .exceptions import FusionError, SegmentLeakError
+from .exceptions import FusionError, SegmentLeakError, SpecParseError
 
 __all__ = [
     "ChaosFault",
@@ -86,6 +86,13 @@ class EngineFaultKind(enum.Enum):
     KILL_DURING_WRITE = "kill_during_write"
     #: SIGKILL the *owner* process after a descent-level checkpoint.
     KILL_BETWEEN_LEVELS = "kill_between_levels"
+    #: Simulated ENOSPC/EDQUOT during an artifact-store commit.
+    DISK_FULL = "disk_full"
+    #: Simulated full ``/dev/shm`` (ENOSPC/EMFILE) during segment publish.
+    SHM_FULL = "shm_full"
+    #: Simulated memory pressure: the governor treats the next merge as
+    #: over its watermark and spills, budget or not.
+    MEM_PRESSURE = "mem_pressure"
 
 
 #: Worker task function → stage name, the vocabulary of ``REPRO_CHAOS``
@@ -120,6 +127,11 @@ KNOWN_STAGES: Tuple[str, ...] = (
 OWNER_STAGES: Tuple[str, ...] = (
     "store_commit",
     "descent_level",
+    # Resource-governor consult points (PR 10): drawn owner-side when a
+    # shared segment is about to be published and when a merge decides
+    # whether to spill.
+    "segment_publish",
+    "budget_check",
 )
 
 
@@ -240,13 +252,21 @@ _DRAW_ORDER = (
     EngineFaultKind.SLOW_TASK,
     EngineFaultKind.KILL_DURING_WRITE,
     EngineFaultKind.KILL_BETWEEN_LEVELS,
+    EngineFaultKind.DISK_FULL,
+    EngineFaultKind.SHM_FULL,
+    EngineFaultKind.MEM_PRESSURE,
 )
 
-#: Owner kill kinds fire only in their own stage; every other kind is a
+#: Owner-side kinds fire only in their own stage; every other kind is a
 #: worker fault and must never burn the ``max`` budget on owner stages.
+#: The resource kinds are consumed at their draw site (a simulated
+#: ``OSError`` or a forced spill), never executed by a worker.
 _OWNER_STAGE_BY_KIND: Dict[EngineFaultKind, str] = {
     EngineFaultKind.KILL_DURING_WRITE: "store_commit",
     EngineFaultKind.KILL_BETWEEN_LEVELS: "descent_level",
+    EngineFaultKind.DISK_FULL: "store_commit",
+    EngineFaultKind.SHM_FULL: "segment_publish",
+    EngineFaultKind.MEM_PRESSURE: "budget_check",
 }
 
 
@@ -322,7 +342,9 @@ class ChaosSpec:
             key = key.strip()
             value = value.strip()
             if not separator:
-                raise FusionError("REPRO_CHAOS entries must be key=value, got %r" % chunk)
+                raise SpecParseError(
+                    "REPRO_CHAOS", chunk, "entries must be key=value, got %r" % chunk
+                )
             try:
                 if key in by_value:
                     probabilities[by_value[key]] = float(value)
@@ -331,9 +353,11 @@ class ChaosSpec:
                     vocabulary = KNOWN_STAGES + OWNER_STAGES
                     unknown = [s for s in named if s not in vocabulary]
                     if unknown:
-                        raise FusionError(
-                            "REPRO_CHAOS names unknown stages %r (known: %s)"
-                            % (unknown, ", ".join(vocabulary))
+                        raise SpecParseError(
+                            "REPRO_CHAOS",
+                            unknown[0],
+                            "names unknown stages %r (known: %s)"
+                            % (unknown, ", ".join(vocabulary)),
                         )
                     stages = named
                 elif key == "max":
@@ -345,10 +369,12 @@ class ChaosSpec:
                 elif key == "slow_s":
                     slow_seconds = float(value)
                 else:
-                    raise FusionError("unknown REPRO_CHAOS key %r" % key)
+                    raise SpecParseError(
+                        "REPRO_CHAOS", key, "unknown REPRO_CHAOS key %r" % key
+                    )
             except ValueError:
-                raise FusionError(
-                    "invalid REPRO_CHAOS value in %r" % chunk
+                raise SpecParseError(
+                    "REPRO_CHAOS", value, "invalid REPRO_CHAOS value in %r" % chunk
                 ) from None
         return cls(
             probabilities,
@@ -428,6 +454,11 @@ def execute_chaos_fault(fault: ChaosFault) -> None:
         time.sleep(seconds)
     elif kind == EngineFaultKind.SLOW_TASK.value:
         time.sleep(seconds)
+    # The resource kinds (disk_full / shm_full / mem_pressure) are
+    # consumed owner-side where they are drawn — the store commit path
+    # raises a simulated ENOSPC, the publish path takes the file-backed
+    # fallback, the governor forces a spill — so executing them here is
+    # deliberately a no-op.
 
 
 # ----------------------------------------------------------------------

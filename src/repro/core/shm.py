@@ -35,7 +35,11 @@ parallel paths stay byte-identical to the serial ones by construction.
 from __future__ import annotations
 
 import atexit
+import errno
+import itertools
+import mmap
 import os
+import tempfile
 import time
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -45,7 +49,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .exceptions import FusionError, PoolDegradedError
+from .budget import current_governor, shm_free_bytes
+from .exceptions import FusionError, PoolDegradedError, ResourceExhaustedError
 from .resilience import (
     RECOVERABLE_POOL_ERRORS,
     ChaosSpec,
@@ -109,6 +114,166 @@ def _align(offset: int, alignment: int = 64) -> int:
     return (offset + alignment - 1) // alignment * alignment
 
 
+#: ``OSError`` numbers that mean "``/dev/shm`` cannot hold this segment"
+#: (full filesystem, file-descriptor exhaustion, kernel memory) — the
+#: triggers for the file-backed fallback.  Anything else propagates.
+_SHM_FULL_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EMFILE, errno.ENFILE, errno.ENOMEM}
+)
+
+#: Monotonic suffix for file-backed segment names within this process.
+_FILE_SEGMENT_SEQ = itertools.count()
+
+
+class _FileSegment:
+    """A file-backed mmap stand-in for ``shared_memory.SharedMemory``.
+
+    The graceful-degradation target when ``/dev/shm`` is full: same
+    ``buf``/``name``/``size``/``close``/``unlink`` surface, but the
+    bytes live in a regular file (the governor's spill directory), so
+    publishing survives shm exhaustion at the cost of going through the
+    page cache.  Workers are forked and open the same path, so shared
+    ``mmap`` semantics — owner writes visible to attached readers —
+    are identical to a ``/dev/shm`` segment.
+    """
+
+    __slots__ = ("_path", "_file", "_mmap", "_buf", "size", "_owner")
+
+    def __init__(self, path: str, size: int, owner: bool) -> None:
+        self._path = path
+        self._owner = owner
+        self.size = int(size)
+        if owner:
+            handle = open(path, "wb+")
+            try:
+                handle.truncate(self.size)
+                self._mmap = mmap.mmap(
+                    handle.fileno(), self.size, access=mmap.ACCESS_WRITE
+                )
+            except BaseException:
+                handle.close()
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                raise
+        else:
+            handle = open(path, "rb")
+            try:
+                self._mmap = mmap.mmap(
+                    handle.fileno(), self.size, access=mmap.ACCESS_READ
+                )
+            except BaseException:
+                handle.close()
+                raise
+        self._file = handle
+        self._buf = memoryview(self._mmap)
+
+    @classmethod
+    def create(cls, size: int, directory: str) -> "_FileSegment":
+        path = os.path.join(
+            directory,
+            "repro-seg-%d-%d.bin" % (os.getpid(), next(_FILE_SEGMENT_SEQ)),
+        )
+        return cls(path, max(int(size), 1), owner=True)
+
+    @classmethod
+    def attach(cls, path: str) -> "_FileSegment":
+        return cls(path, os.path.getsize(path), owner=False)
+
+    @property
+    def buf(self):
+        return self._buf
+
+    @property
+    def name(self) -> str:
+        return self._path
+
+    def close(self) -> None:
+        try:
+            self._buf.release()
+        except Exception:
+            pass
+        try:
+            self._mmap.close()
+        except Exception:  # pragma: no cover - live exported views
+            pass
+        try:
+            self._file.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                os.unlink(self._path)
+            except OSError:  # already removed elsewhere
+                pass
+
+
+def _fallback_directory() -> str:
+    """Where file-backed segments live: the governor's spill directory
+    inside a fusion, the system temp directory otherwise."""
+    governor = current_governor()
+    if governor is not None:
+        return governor.spill_dir()
+    return tempfile.gettempdir()
+
+
+def _create_segment(size: int):
+    """Create a shared segment of ``size`` bytes, degrading gracefully.
+
+    The publish pre-check runs *before* the segment is created, so a
+    doomed publish never fails halfway through the ``memmove``: an
+    injected ``shm_full`` fault, an overrun ``REPRO_SHM_BUDGET``
+    watermark or insufficient free space on ``/dev/shm`` all route the
+    segment to the file-backed fallback up front.  A real ENOSPC/EMFILE
+    from the kernel falls back the same way.  Only when the fallback
+    *also* fails does this raise — a typed
+    :class:`ResourceExhaustedError` naming the segment size.
+
+    Returns ``(segment, file_backed)``.
+    """
+    size = max(int(size), 1)
+    governor = current_governor()
+    if governor is not None:
+        reason = governor.publish_fallback_reason(size)
+    else:
+        free = shm_free_bytes()
+        reason = (
+            "/dev/shm has only %d bytes free" % free
+            if free is not None and size > free
+            else None
+        )
+    if reason is None:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=size)
+        except OSError as exc:
+            if exc.errno not in _SHM_FULL_ERRNOS:
+                raise
+            reason = "creating the segment failed with %s" % (
+                errno.errorcode.get(exc.errno, str(exc.errno)),
+            )
+        else:
+            register_owned_segment(segment.name)
+            if governor is not None:
+                governor.note_publish(segment.size)
+            return segment, False
+    if governor is not None:
+        governor.note_shm_fallback()
+    try:
+        segment = _FileSegment.create(size, _fallback_directory())
+    except OSError as exc:
+        raise ResourceExhaustedError.for_resource(
+            "shm",
+            governor.budget.shm if governor is not None else None,
+            size,
+            "a shared segment of %d bytes could not be published (%s) and "
+            "the file-backed fallback failed (%s)" % (size, reason, exc),
+        ) from exc
+    return segment, True
+
+
 class SharedArrayBundle:
     """Named NumPy arrays packed into one shared-memory segment.
 
@@ -151,7 +316,15 @@ class SharedArrayBundle:
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArrayBundle":
-        """Pack ``arrays`` (copied) into a fresh shared segment."""
+        """Pack ``arrays`` (copied) into a fresh shared segment.
+
+        Pre-checks free ``/dev/shm`` space (and the governor's shm
+        budget, when a fusion is active) before creating the segment;
+        an over-capacity publish falls back to a file-backed mmap
+        segment instead of failing mid-``memmove``, and only a failed
+        fallback raises — a typed :class:`ResourceExhaustedError`
+        naming the segment size.
+        """
         layout: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
         offset = 0
         sources: Dict[str, np.ndarray] = {}
@@ -161,8 +334,7 @@ class SharedArrayBundle:
             offset = _align(offset)
             layout[name] = (array.dtype.str, tuple(array.shape), offset)
             offset += array.nbytes
-        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        register_owned_segment(segment.name)
+        segment, _file_backed = _create_segment(max(offset, 1))
         bundle = cls(segment, layout, owner=True)
         for name, array in sources.items():
             bundle.arrays[name][...] = array
@@ -176,15 +348,28 @@ class SharedArrayBundle:
         is harmless here: pool workers are *forked*, so they talk to the
         owner's tracker, whose registry is a set (the re-add is a
         no-op) that the owner's ``unlink()`` clears exactly once.
+
+        A ``meta`` carrying ``backing="file"`` attaches the file-backed
+        fallback segment instead (same zero-copy views, same visibility
+        of owner writes — both are shared mappings).
         """
-        segment = shared_memory.SharedMemory(name=meta["segment"])
+        if meta.get("backing") == "file":
+            segment = _FileSegment.attach(str(meta["segment"]))
+        else:
+            segment = shared_memory.SharedMemory(name=meta["segment"])
         return cls(segment, dict(meta["layout"]), owner=False)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     @property
     def meta(self) -> Dict[str, object]:
         """Picklable descriptor: pass this to workers instead of arrays."""
-        return {"segment": self._segment.name, "layout": dict(self._layout)}
+        meta: Dict[str, object] = {
+            "segment": self._segment.name,
+            "layout": dict(self._layout),
+        }
+        if isinstance(self._segment, _FileSegment):
+            meta["backing"] = "file"
+        return meta
 
     @property
     def name(self) -> str:
@@ -220,8 +405,7 @@ class SharedArrayBundle:
         if not self._owner:
             raise FusionError("only the owning side can respawn a bundle")
         old_segment = self._segment
-        fresh = shared_memory.SharedMemory(create=True, size=old_segment.size)
-        register_owned_segment(fresh.name)
+        fresh, _file_backed = _create_segment(old_segment.size)
         nbytes = min(len(fresh.buf), len(old_segment.buf))
         fresh.buf[:nbytes] = old_segment.buf[:nbytes]
         self._finalizer.detach()
@@ -242,7 +426,11 @@ class SharedArrayBundle:
         self.close()
 
 
-def _cleanup_segment(segment: shared_memory.SharedMemory, owner: bool) -> None:
+def _cleanup_segment(segment, owner: bool) -> None:
+    if owner and not isinstance(segment, _FileSegment):
+        governor = current_governor()
+        if governor is not None:
+            governor.note_release(segment.size)
     try:
         segment.close()
     except Exception:  # pragma: no cover - teardown best effort
@@ -376,10 +564,21 @@ class SharedWorkerPool:
         return self._config.task_timeout
 
     def publish(self, arrays: Dict[str, np.ndarray]) -> SharedArrayBundle:
-        """Create a bundle whose lifetime is tied to this pool."""
+        """Create a bundle whose lifetime is tied to this pool.
+
+        A full ``/dev/shm`` transparently produces a file-backed bundle
+        (see :func:`_create_segment`); when even the fallback fails the
+        pool degrades — every later stage takes its byte-identical
+        serial path, exactly like an unhealable crash — and the typed
+        error propagates to the caller's wave handling.
+        """
         if self._closed:
             raise FusionError("cannot publish on a closed SharedWorkerPool")
-        bundle = SharedArrayBundle.create(arrays)
+        try:
+            bundle = SharedArrayBundle.create(arrays)
+        except ResourceExhaustedError:
+            self.degrade("segment_publish")
+            raise
         self._bundles.append(bundle)
         return bundle
 
@@ -475,6 +674,12 @@ class SharedWorkerPool:
                 attempt += 1
                 if not self.attempt_recovery(stage, attempt):
                     break
+            except ResourceExhaustedError:
+                # Publishing is impossible even through the file-backed
+                # fallback: degrade to the serial path, which needs no
+                # shared segments and computes the same bytes.
+                self.degrade(stage)
+                break
         return serial_fallback() if serial_fallback is not None else None
 
     def attempt_recovery(self, stage: str, attempt: int) -> bool:
@@ -487,7 +692,13 @@ class SharedWorkerPool:
             self.degrade(stage)
             return False
         time.sleep(self._config.backoff_seconds * (2 ** (attempt - 1)))
-        self.heal()
+        try:
+            self.heal()
+        except ResourceExhaustedError:
+            # Respawning the bundles ran out of both /dev/shm and the
+            # file fallback: healing cannot succeed, so degrade now.
+            self.degrade(stage)
+            return False
         self.resilience.retries += 1
         return True
 

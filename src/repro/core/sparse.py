@@ -81,6 +81,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .budget import current_governor
 from .exceptions import PartitionError
 from .partition import Partition, _canonicalise, _first_of_each_block
 from .shm import SharedScratch, SharedWorkerPool, attached_arrays
@@ -192,6 +193,31 @@ def _sort_unique(keys: np.ndarray) -> np.ndarray:
     if keys.size == 0:
         return keys
     return _dedup_sorted(np.sort(keys))
+
+
+def _governed_sort_unique(parts: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+    """The spill hook of the merge paths: external merge, or ``None``.
+
+    Consults the active :class:`~repro.core.budget.ResourceGovernor`
+    (when a fusion is running under one) with the merge's projected peak
+    bytes — the concatenation plus its sort copy.  Above the memory
+    watermark (or under an injected ``mem_pressure`` fault) the parts
+    are spilled as sorted runs and k-way merged back through bounded
+    windows; the result is byte-identical to the in-memory
+    ``_sort_unique`` of the concatenation because the packed keys are
+    plain integers and set union is associative.  Returns ``None`` when
+    the merge should stay in memory.
+    """
+    live = [part for part in parts if part.size]
+    if len(live) < 2:
+        return None
+    governor = current_governor()
+    if governor is None:
+        return None
+    peak_bytes = 2 * sum(part.nbytes for part in live)
+    if not governor.should_spill(peak_bytes):
+        return None
+    return governor.spill_merge(live)
 
 
 def _compress_absent(sorted_ref: np.ndarray, keys: np.ndarray) -> np.ndarray:
@@ -590,6 +616,9 @@ def _merge_leaf_results(
     if not parts:
         empty_packed = np.empty(0, dtype=_packed_dtype(num_states, cap))
         return _unpack_merged(empty_packed, num_states, cap)
+    merged = _governed_sort_unique(parts)
+    if merged is not None:
+        return _unpack_merged(merged, num_states, cap)
     packed = parts[0] if len(parts) == 1 else np.concatenate(parts)
     return _unpack_merged(_sort_unique(packed), num_states, cap)
 
@@ -694,6 +723,9 @@ def _pool_merge_tree(
         return np.empty(0, dtype=np.int64)
     if len(parts) == 1:
         return parts[0]
+    merged = _governed_sort_unique(parts)
+    if merged is not None:
+        return merged
     return _dedup_sorted(np.sort(np.concatenate(parts)))
 
 
@@ -1306,7 +1338,15 @@ def _merge_fresh_parts(
     union minus ``doomed`` in sorted order — independent of part
     granularity and order, which is what keeps the serial and every
     parallel sharding byte-identical.
+
+    Above the governor's memory watermark the union routes through the
+    external spill merge instead; subtracting ``doomed`` from the spilled
+    union afterwards yields the same set as filtering each part first,
+    so the prune rounds stay byte-identical under forced spilling too.
     """
+    spilled = _governed_sort_unique(parts)
+    if spilled is not None:
+        return _compress_absent(doomed, spilled)
     fresh = np.empty(0, dtype=doomed.dtype)
     for part in parts:
         if part.size == 0:

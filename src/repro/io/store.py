@@ -36,6 +36,7 @@ guarantees are tested rather than assumed.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import itertools
 import json
@@ -47,8 +48,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.budget import ResourceBudget, current_governor
 from ..core.dfsm import DFSM
-from ..core.exceptions import StoreCorruptionError, StoreLockTimeoutError
+from ..core.exceptions import (
+    ResourceExhaustedError,
+    StoreCorruptionError,
+    StoreLockTimeoutError,
+)
 from ..core.product import CrossProduct
 from ..core.resilience import (
     ChaosSpec,
@@ -81,6 +87,17 @@ _BACKOFF_CAP = 0.25
 _MACHINES_NAME = "machines.npz"
 _PRODUCT_NAME = "product.npz"
 _QUARANTINE_DIR = "quarantine"
+_SCRATCH_DIR = "scratch"
+
+#: ``errno`` values that mean "the filesystem is out of space/quota" —
+#: the conditions a commit retries through (after scratch sweeping)
+#: instead of quarantining anything.
+_DISK_FULL_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT})
+
+#: How many times a commit that hit ENOSPC/EDQUOT is retried (each
+#: retry preceded by a scratch sweep and a backoff sleep) before the
+#: typed :class:`ResourceExhaustedError` is raised.
+_COMMIT_DISK_RETRIES = 3
 
 
 def _process_start_time(pid: int) -> Optional[int]:
@@ -130,6 +147,8 @@ class StoreStats:
     checkpoints: int = 0  #: descent-level checkpoints committed
     resumed_levels: int = 0  #: descent levels skipped thanks to a checkpoint
     chaos: int = 0  #: chaos faults drawn against store stages
+    disk_retries: int = 0  #: commits retried after ENOSPC/EDQUOT
+    swept_scratch: int = 0  #: stale scratch files removed while retrying
 
     def as_counters(self) -> Dict[str, int]:
         return {
@@ -143,6 +162,8 @@ class StoreStats:
             "checkpoints": self.checkpoints,
             "resumed_levels": self.resumed_levels,
             "chaos": self.chaos,
+            "disk_retries": self.disk_retries,
+            "swept_scratch": self.swept_scratch,
         }
 
 
@@ -178,6 +199,8 @@ class ArtifactStore:
         self._chaos = chaos if chaos is not None else chaos_from_env()
         self._seq = itertools.count()
         self._swept: set = set()
+        self._committed_bytes = 0
+        self._env_disk_budget = ResourceBudget.from_env().disk
         self.stats = StoreStats()
 
     # ------------------------------------------------------------------
@@ -282,6 +305,49 @@ class ArtifactStore:
             self.stats.swept_tmp += 1
 
     # ------------------------------------------------------------------
+    # Spill scratch space
+    # ------------------------------------------------------------------
+    def scratch_dir(self) -> str:
+        """Directory for the resource governor's spilled sort runs.
+
+        ``generate_fusion`` hands this to
+        :meth:`repro.core.budget.ResourceGovernor.set_spill_dir` so that
+        external-merge runs land next to the artifacts they protect
+        (same filesystem, swept by the same store) instead of in
+        ``/tmp``.
+        """
+        path = os.path.join(self._root, _SCRATCH_DIR)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def sweep_scratch(self) -> int:
+        """Remove scratch files left behind by dead processes.
+
+        Spill runs are named ``run-<pid>-...``; a file whose writer no
+        longer exists is an orphan from a crashed run and is reclaimed.
+        Live processes' runs (including our own in-flight merges) are
+        never touched.  Returns the number of files removed.
+        """
+        path = os.path.join(self._root, _SCRATCH_DIR)
+        try:
+            entries = os.listdir(path)
+        except OSError:
+            return 0
+        removed = 0
+        for entry in entries:
+            parts = entry.split("-")
+            try:
+                pid = int(parts[1])
+            except (IndexError, ValueError):
+                continue
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            self._remove_quietly(os.path.join(path, entry))
+            removed += 1
+        self.stats.swept_scratch += removed
+        return removed
+
+    # ------------------------------------------------------------------
     # Chaos
     # ------------------------------------------------------------------
     def _draw(self, stage: str) -> Optional[Tuple[str, float]]:
@@ -308,25 +374,83 @@ class ArtifactStore:
         ``kill_during_write`` writes a deliberately *torn* file at the
         final name and SIGKILLs the process — the harshest mid-commit
         crash (a non-atomic writer losing power), which the next run
-        must detect via checksums, quarantine and recompute.
+        must detect via checksums, quarantine and recompute.  A drawn
+        ``disk_full`` makes the first write attempt fail with a
+        simulated ``ENOSPC``, exercising the same retry plan a real
+        full filesystem would: nothing is quarantined, stale scratch is
+        swept, the write backs off and retries, and only past the retry
+        budget does the typed :class:`ResourceExhaustedError` surface —
+        with every previously committed artifact intact, so the run
+        stays resumable from its last checkpoint.
         """
         directory = self._namespace_dir(digest)
         os.makedirs(directory, exist_ok=True)
         final = os.path.join(directory, name)
         fault = self._draw("store_commit")
-        if fault is not None and fault[0] == EngineFaultKind.KILL_DURING_WRITE.value:
-            write_container(final, arrays, meta, fsync=False)
-            size = os.path.getsize(final)
-            os.truncate(final, max(len(MAGIC) + 9, size * 3 // 4))
-            execute_chaos_fault(fault)  # SIGKILL — never returns
-        tmp = self._temp_path(directory, name)
-        try:
-            write_container(tmp, arrays, meta, fsync=True)
-            os.replace(tmp, final)
-            self._fsync_dir(directory)
-        finally:
-            self._remove_quietly(tmp)
+        inject_enospc = False
+        if fault is not None:
+            if fault[0] == EngineFaultKind.KILL_DURING_WRITE.value:
+                write_container(final, arrays, meta, fsync=False)
+                size = os.path.getsize(final)
+                os.truncate(final, max(len(MAGIC) + 9, size * 3 // 4))
+                execute_chaos_fault(fault)  # SIGKILL — never returns
+            elif fault[0] == EngineFaultKind.DISK_FULL.value:
+                inject_enospc = True
+        budget = self._disk_budget()
+        delay = _BACKOFF_START
+        observed = self._committed_bytes
+        for attempt in range(_COMMIT_DISK_RETRIES + 1):
+            tmp = self._temp_path(directory, name)
+            try:
+                if inject_enospc:
+                    inject_enospc = False
+                    raise OSError(
+                        errno.ENOSPC, "No space left on device (injected disk_full fault)"
+                    )
+                write_container(tmp, arrays, meta, fsync=True)
+                size = os.path.getsize(tmp)
+                observed = self._committed_bytes + size
+                if budget is not None and observed > budget:
+                    raise OSError(
+                        errno.ENOSPC,
+                        "REPRO_DISK_BUDGET would be exceeded by %d bytes" % size,
+                    )
+                os.replace(tmp, final)
+                self._fsync_dir(directory)
+                break
+            except OSError as exc:
+                self._remove_quietly(tmp)
+                if exc.errno not in _DISK_FULL_ERRNOS:
+                    raise
+                if attempt >= _COMMIT_DISK_RETRIES:
+                    raise ResourceExhaustedError.for_resource(
+                        "disk",
+                        budget,
+                        observed,
+                        "committing %r failed with %s after %d retries; nothing was "
+                        "quarantined and the run is resumable from its last checkpoint"
+                        % (name, errno.errorcode.get(exc.errno, exc.errno), attempt),
+                    ) from exc
+                self.stats.disk_retries += 1
+                self._sweep_stale_temps(directory)
+                self.sweep_scratch()
+                governor = current_governor()
+                if governor is not None:
+                    governor.note_disk_retry()
+                    governor.note_sweep()
+                time.sleep(delay)
+                delay = min(delay * 2, _BACKOFF_CAP)
+            finally:
+                self._remove_quietly(tmp)
+        self._committed_bytes += os.path.getsize(final)
         self.stats.commits += 1
+
+    def _disk_budget(self) -> Optional[int]:
+        """The disk watermark in force: the active governor's, else env."""
+        governor = current_governor()
+        if governor is not None:
+            return governor.budget.disk
+        return self._env_disk_budget
 
     def load(
         self, digest: str, name: str

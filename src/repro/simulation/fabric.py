@@ -40,7 +40,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.exceptions import SimulationError
+from ..core.exceptions import NetworkSpecParseError, SimulationError
 from ..core.types import EventLabel
 from ..utils.rng import as_generator, derive_seed
 from .server import Server, ServerStatus
@@ -160,8 +160,10 @@ class NetworkChaosSpec:
             key = key.strip()
             value = value.strip()
             if not separator:
-                raise SimulationError(
-                    "REPRO_NET_CHAOS entries must be key=value, got %r" % chunk
+                raise NetworkSpecParseError(
+                    "REPRO_NET_CHAOS",
+                    chunk,
+                    "entries must be key=value, got %r" % chunk,
                 )
             try:
                 if key in by_value:
@@ -177,14 +179,18 @@ class NetworkChaosSpec:
                 elif key == "partition_ticks":
                     partition_ticks = int(value)
                 else:
-                    raise SimulationError(
+                    raise NetworkSpecParseError(
+                        "REPRO_NET_CHAOS",
+                        key,
                         "unknown REPRO_NET_CHAOS key %r (known: %s, servers, "
                         "max, seed, max_delay, partition_ticks)"
-                        % (key, ", ".join(sorted(by_value)))
+                        % (key, ", ".join(sorted(by_value))),
                     )
             except ValueError:
-                raise SimulationError(
-                    "invalid REPRO_NET_CHAOS value %r for key %r" % (value, key)
+                raise NetworkSpecParseError(
+                    "REPRO_NET_CHAOS",
+                    value,
+                    "invalid REPRO_NET_CHAOS value %r for key %r" % (value, key),
                 ) from None
         return cls(
             probabilities,

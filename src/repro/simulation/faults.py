@@ -52,6 +52,9 @@ class FaultKind(enum.Enum):
     SLOW_TASK = "slow_task"
     KILL_DURING_WRITE = "kill_during_write"
     KILL_BETWEEN_LEVELS = "kill_between_levels"
+    DISK_FULL = "disk_full"
+    SHM_FULL = "shm_full"
+    MEM_PRESSURE = "mem_pressure"
     DROP = "drop"
     DUPLICATE = "duplicate"
     REORDER = "reorder"
@@ -77,6 +80,9 @@ _ENGINE_KINDS = frozenset(
         FaultKind.SLOW_TASK,
         FaultKind.KILL_DURING_WRITE,
         FaultKind.KILL_BETWEEN_LEVELS,
+        FaultKind.DISK_FULL,
+        FaultKind.SHM_FULL,
+        FaultKind.MEM_PRESSURE,
     }
 )
 _NETWORK_KINDS = frozenset(
@@ -248,6 +254,9 @@ class FaultInjector:
         slow_task: float = 0.0,
         kill_during_write: float = 0.0,
         kill_between_levels: float = 0.0,
+        disk_full: float = 0.0,
+        shm_full: float = 0.0,
+        mem_pressure: float = 0.0,
         stages: Optional[Sequence[str]] = None,
         max_faults: Optional[int] = None,
     ) -> "ChaosSpec":
@@ -260,9 +269,15 @@ class FaultInjector:
         ``worker_kill``/``task_hang``/``slow_task`` target pool workers;
         ``kill_during_write``/``kill_between_levels`` SIGKILL the owner
         process during an artifact-store commit or right after a
-        descent-level checkpoint, exercising crash durability.  The
-        spec's draws are deterministic in ``seed``, exactly like
-        :meth:`random_plan` is in the injector's seed.
+        descent-level checkpoint, exercising crash durability.
+        ``disk_full``/``shm_full``/``mem_pressure`` simulate resource
+        exhaustion at the matching owner stages — a store commit that
+        hits ENOSPC, a ``/dev/shm`` publish that must fall back to a
+        file-backed segment, a merge that must spill to scratch —
+        exercising the resource governor's degradation paths
+        (:mod:`repro.core.budget`).  The spec's draws are deterministic
+        in ``seed``, exactly like :meth:`random_plan` is in the
+        injector's seed.
         """
         from ..core.resilience import ChaosSpec, EngineFaultKind
 
@@ -273,6 +288,9 @@ class FaultInjector:
                 EngineFaultKind.SLOW_TASK: slow_task,
                 EngineFaultKind.KILL_DURING_WRITE: kill_during_write,
                 EngineFaultKind.KILL_BETWEEN_LEVELS: kill_between_levels,
+                EngineFaultKind.DISK_FULL: disk_full,
+                EngineFaultKind.SHM_FULL: shm_full,
+                EngineFaultKind.MEM_PRESSURE: mem_pressure,
             },
             stages=tuple(stages) if stages is not None else None,
             max_faults=max_faults,

@@ -86,9 +86,13 @@ class TestChaosRecovery:
             "ledger_leaf", "closure_batch", "prune_shard", "merge_fold", "bfs_shard",
             "runtime_step",
         }
-        # The artifact store's owner-side stages are a separate, disjoint
-        # vocabulary: worker kills never fire there, owner kills only there.
-        assert set(OWNER_STAGES) == {"store_commit", "descent_level"}
+        # The owner-side stages (artifact-store commits, descent
+        # checkpoints, and the resource governor's consult points) are a
+        # separate, disjoint vocabulary: worker kills never fire there,
+        # owner-side kinds only there.
+        assert set(OWNER_STAGES) == {
+            "store_commit", "descent_level", "segment_publish", "budget_check",
+        }
         assert not set(OWNER_STAGES) & set(KNOWN_STAGES)
 
     def test_owner_kill_kinds_never_burn_budget_on_worker_stages(self):

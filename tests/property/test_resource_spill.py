@@ -1,0 +1,115 @@
+"""Property: a forced spill never changes a fusion's bytes.
+
+The spill path (:func:`repro.core.budget.external_sort_unique`) replaces
+the sparse engine's in-memory ``sort + dedup`` merges with external
+sorted runs on scratch.  Because the packed pair keys are plain
+integers and set union is associative, the route through disk must be
+invisible in the result: a fusion generated under a deliberately tiny
+``REPRO_MEMORY_BUDGET`` — every governed merge spills — must produce
+partition bytes, summaries *and* ``prune_stats`` identical to the
+unbounded run, at every worker count.
+
+Randomised leg: :class:`hypothesis` drives ``external_sort_unique``
+directly against ``np.unique`` over adversarial part shapes (empty
+parts, all-duplicates, single elements, window smaller than any part).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import external_sort_unique
+from repro.core.fusion import generate_fusion
+from repro.core.resilience import assert_no_owned_segments
+from repro.machines import mod_counter
+from repro.utils.timing import Stopwatch
+
+
+def _counters(size: int):
+    return [
+        mod_counter(3, count_event=e, events=tuple(range(size)), name="c%d" % e)
+        for e in range(size)
+    ]
+
+
+#: Forces the spill path on every governed merge: far below the
+#: multi-megabyte transient peaks of the counters-8/9 merge folds, far
+#: above nothing (the spill windows still make progress).
+TINY_MEMORY = {"memory": 4096}
+
+CASES = {
+    "counters-8": lambda: _counters(8),
+    "counters-9": lambda: _counters(9),
+}
+
+
+def _labels_digest(result) -> str:
+    digest = hashlib.sha256()
+    for partition in result.partitions:
+        digest.update(np.ascontiguousarray(partition.labels).tobytes())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Unbounded ground truth per case, computed once for the module."""
+    out = {}
+    for case, build in CASES.items():
+        watch = Stopwatch()
+        result = generate_fusion(build(), f=1, workers=1, stopwatch=watch)
+        out[case] = (
+            _labels_digest(result),
+            result.summary(),
+            dict(watch.extras("prune")),
+        )
+    return out
+
+
+class TestForcedSpillByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_spilled_fusion_matches_unbounded(self, case, workers, references):
+        """Tiny memory budget, any worker count: identical bytes and stats."""
+        ref_digest, ref_summary, ref_prune = references[case]
+        watch = Stopwatch()
+        result = generate_fusion(
+            CASES[case](),
+            f=1,
+            workers=workers,
+            budget=TINY_MEMORY,
+            stopwatch=watch,
+        )
+        assert _labels_digest(result) == ref_digest
+        assert result.summary() == ref_summary
+        assert dict(watch.extras("prune")) == ref_prune
+        resources = watch.extras("resources")
+        assert resources["spills"] >= 1, "the tiny budget never forced a spill"
+        assert resources["spilled_bytes"] > 0
+        assert resources["mem_peak"] > TINY_MEMORY["memory"]
+        assert_no_owned_segments()
+
+
+class TestExternalMergeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=80),
+            min_size=1,
+            max_size=6,
+        ),
+        window=st.integers(min_value=2, max_value=32),
+    )
+    def test_matches_numpy_unique(self, tmp_path_factory, data, window):
+        scratch = str(tmp_path_factory.mktemp("spill"))
+        parts = [np.asarray(chunk, dtype=np.int64) for chunk in data]
+        merged = external_sort_unique(parts, scratch, window=window)
+        expected = np.unique(np.concatenate(parts)) if any(
+            p.size for p in parts
+        ) else np.empty(0, np.int64)
+        np.testing.assert_array_equal(merged, expected)
+        assert merged.tobytes() == expected.astype(np.int64).tobytes()

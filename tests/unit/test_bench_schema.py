@@ -32,7 +32,38 @@ def _payload():
 
 
 def test_bench_schema_version():
-    assert _payload()["schema"] == "repro-bench-perf/7"
+    assert _payload()["schema"] == "repro-bench-perf/8"
+
+
+def test_resources_block_records_governor_degradation_evidence():
+    """Schema v8: the resource governor's evidence travels with the file.
+
+    The committed trajectory must carry the low-budget smoke's proof
+    (``benchmarks/bench_resource_smoke.py``): the flagship rerun under a
+    tiny memory budget plus a seeded ``shm_full`` fault, in which the
+    merge tree actually spilled to external sorted runs, a ``/dev/shm``
+    publish actually fell back to a file-backed segment, and the run
+    still finished byte-identical to the unbounded reference with
+    identical ``prune_stats`` and zero stranded segments.
+    """
+    resources = _payload().get("resources")
+    assert resources is not None, "BENCH_perf.json is missing the resources block"
+    assert resources["case"] == "counters-9 (top=19683)"
+    assert resources["budget"].get("memory"), "no memory budget was applied"
+    assert "shm_full" in resources["chaos"]
+    assert resources["workers"] >= 2
+    assert resources["byte_identical"] is True
+    assert resources["prune_stats_equal"] is True
+    assert resources["run_seconds"] > 0
+    stats = resources["stats"]
+    assert stats["spills"] >= 1, "the budget never forced a spill"
+    assert stats["spilled_bytes"] > 0
+    assert stats["shm_fallbacks"] >= 1, "no file-backed fallback happened"
+    assert stats["chaos"] >= 1, "the seeded shm_full fault never fired"
+    assert stats["mem_peak"] > 0
+    for field, value in stats.items():
+        assert isinstance(value, int) and value >= 0, field
+    assert resources["shm_stranded"] == 0
 
 
 def test_network_block_records_fabric_resilience_evidence():
